@@ -1,0 +1,404 @@
+package ukc_test
+
+// One benchmark per Table 1 row (the paper's entire evaluation artifact),
+// plus the runtime-scaling benches backing the O(z) / O(nz + n log k)
+// claims, the exact-vs-Monte-Carlo evaluator comparison (A3), and the
+// baseline comparison (C1). EXPERIMENTS.md records representative outputs.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	ukc "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graphmetric"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+func benchEuclidean(b *testing.B, n, z, dim int) []ukc.Point {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts, err := gen.GaussianClusters(rng, n, z, dim, 4, 1, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pts
+}
+
+// BenchmarkTable1Row1 — 1-center, Euclidean, O(z) construction + exact cost.
+func BenchmarkTable1Row1(b *testing.B) {
+	pts := benchEuclidean(b, 200, 5, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.OneCenterFirstExpectedPoint(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row2 — restricted assigned, expected distance, Gonzalez
+// (factor 6, O(nz + n log k)).
+func BenchmarkTable1Row2(b *testing.B) {
+	pts := benchEuclidean(b, 500, 5, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveEuclidean(pts, 5, ukc.EuclideanOptions{
+			Rule: ukc.RuleED, Solver: ukc.SolverGonzalez,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row3 — restricted assigned, expected distance, (1+ε)
+// (factor 5+ε).
+func BenchmarkTable1Row3(b *testing.B) {
+	pts := benchEuclidean(b, 60, 4, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveEuclidean(pts, 2, ukc.EuclideanOptions{
+			Rule: ukc.RuleED, Solver: ukc.SolverEps, Eps: 0.5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row4 — restricted assigned, expected point, Gonzalez
+// (factor 4).
+func BenchmarkTable1Row4(b *testing.B) {
+	pts := benchEuclidean(b, 500, 5, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveEuclidean(pts, 5, ukc.EuclideanOptions{
+			Rule: ukc.RuleEP, Solver: ukc.SolverGonzalez,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row5 — restricted assigned, expected point, (1+ε)
+// (factor 3+ε).
+func BenchmarkTable1Row5(b *testing.B) {
+	pts := benchEuclidean(b, 60, 4, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveEuclidean(pts, 2, ukc.EuclideanOptions{
+			Rule: ukc.RuleEP, Solver: ukc.SolverEps, Eps: 0.5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row6 — unrestricted assigned, Gonzalez pipeline (factor 4).
+func BenchmarkTable1Row6(b *testing.B) {
+	pts := benchEuclidean(b, 500, 5, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveEuclidean(pts, 5, ukc.EuclideanOptions{
+			Rule: ukc.RuleEP, Solver: ukc.SolverGonzalez,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row7 — unrestricted assigned, (1+ε) pipeline (factor 3+ε).
+func BenchmarkTable1Row7(b *testing.B) {
+	pts := benchEuclidean(b, 60, 4, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveEuclidean(pts, 2, ukc.EuclideanOptions{
+			Rule: ukc.RuleEP, Solver: ukc.SolverEps, Eps: 0.5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row8 — R^1, exact restricted-ED solver (Wang–Zhang
+// setting), O(zn log zn · log 1/δ).
+func BenchmarkTable1Row8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts, err := gen.Mixture1D(rng, 500, 5, 4, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.Solve1D(pts, 4, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Row9 — general metric space, 1-center surrogate pipeline
+// (factor 5+2ε with OC).
+func BenchmarkTable1Row9(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g, _, err := graphmetric.RandomGeometric(100, 0.2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := g.Metric()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, err := gen.OnVerticesLocal(rng, space, 50, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ukc.SolveMetric(space, pts, space.Points(), 4, ukc.MetricOptions{Rule: ukc.RuleOC}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpectedPointScaling — the O(z) claim for P̄ construction.
+func BenchmarkExpectedPointScaling(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for _, z := range []int{4, 16, 64, 256} {
+		locs := make([]geom.Vec, z)
+		probs := make([]float64, z)
+		for j := range locs {
+			locs[j] = geom.Vec{rng.NormFloat64(), rng.NormFloat64()}
+			probs[j] = 1 / float64(z)
+		}
+		p, err := uncertain.New(locs, probs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("z=%d", z), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				uncertain.ExpectedPoint(p)
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineScalingN — pipeline time vs n (linear expected).
+func BenchmarkPipelineScalingN(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		pts := benchEuclidean(b, n, 4, 2)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ukc.SolveEuclidean(pts, 8, ukc.EuclideanOptions{Rule: ukc.RuleEP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineScalingZ — pipeline time vs z (linear expected).
+func BenchmarkPipelineScalingZ(b *testing.B) {
+	for _, z := range []int{2, 4, 8, 16} {
+		pts := benchEuclidean(b, 1000, z, 2)
+		b.Run(fmt.Sprintf("z=%d", z), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ukc.SolveEuclidean(pts, 8, ukc.EuclideanOptions{Rule: ukc.RuleEP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineScalingK — pipeline time vs k (Gonzalez is O(nk)).
+func BenchmarkPipelineScalingK(b *testing.B) {
+	pts := benchEuclidean(b, 1000, 4, 2)
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ukc.SolveEuclidean(pts, k, ukc.EuclideanOptions{Rule: ukc.RuleEP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEcostEvaluators — A3: exact sweep vs Monte-Carlo estimation.
+func BenchmarkEcostEvaluators(b *testing.B) {
+	pts := benchEuclidean(b, 200, 5, 2)
+	res, err := ukc.SolveEuclidean(pts, 4, ukc.EuclideanOptions{Rule: ukc.RuleEP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := metricspace.Euclidean{}
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EcostAssigned[geom.Vec](space, pts, res.Centers, res.Assign); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("montecarlo-10k", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(5))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EcostMonteCarlo[geom.Vec](space, pts, res.Centers, res.Assign, 10000, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEpsSweep — A4: the (1+ε) solver's quality/time knob.
+func BenchmarkEpsSweep(b *testing.B) {
+	pts := benchEuclidean(b, 40, 3, 2)
+	for _, eps := range []float64{1, 0.5, 0.25} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ukc.SolveEuclidean(pts, 2, ukc.EuclideanOptions{
+					Rule: ukc.RuleEP, Solver: ukc.SolverEps, Eps: eps,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSurrogateAblation — A1: expected point vs 1-center surrogate
+// construction cost (the Weiszfeld iteration is the difference).
+func BenchmarkSurrogateAblation(b *testing.B) {
+	pts := benchEuclidean(b, 500, 8, 2)
+	b.Run("expected-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveEuclidean(pts, 4, ukc.EuclideanOptions{
+				Surrogate: ukc.SurrogateExpectedPoint, Rule: ukc.RuleEP,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("one-center", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveEuclidean(pts, 4, ukc.EuclideanOptions{
+				Surrogate: ukc.SurrogateOneCenter, Rule: ukc.RuleOC,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCoresetPipeline — the coreset pre-step pays off when the certain
+// solver is super-linear: here the (1+ε) grid solver sees 40 coreset points
+// instead of 300 surrogates. (With Gonzalez the coreset is pure overhead —
+// the solver is already O(nk); see internal/core.EuclideanOptions docs.)
+func BenchmarkCoresetPipeline(b *testing.B) {
+	pts := benchEuclidean(b, 300, 4, 2)
+	opts := ukc.EuclideanOptions{Rule: ukc.RuleEP, Solver: ukc.SolverEps, Eps: 0.5}
+	b.Run("direct-eps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveEuclidean(pts, 3, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	withCS := opts
+	withCS.CoresetEps = 0.3
+	withCS.CoresetMaxSize = 40
+	b.Run("coreset-eps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveEuclidean(pts, 3, withCS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkUncertainKMeans — X1 extension: the exact k-means reduction.
+func BenchmarkUncertainKMeans(b *testing.B) {
+	pts := benchEuclidean(b, 1000, 4, 2)
+	rng := rand.New(rand.NewSource(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := ukc.SolveKMeans(pts, 8, rng, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamPush — one-pass sketch throughput.
+func BenchmarkStreamPush(b *testing.B) {
+	pts := benchEuclidean(b, 4096, 3, 2)
+	sk, err := ukc.NewStreamKCenter(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.Push(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineComparison — C1: paper pipeline vs baselines, same
+// instance.
+func BenchmarkBaselineComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts, err := gen.BimodalAdversarial(rng, 200, 4, 2, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("paper-EP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveEuclidean(pts, 4, ukc.EuclideanOptions{Rule: ukc.RuleEP}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("paper-OC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveEuclidean(pts, 4, ukc.EuclideanOptions{
+				Surrogate: ukc.SurrogateOneCenter, Rule: ukc.RuleOC,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline-mode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveBaseline(pts, 4, ukc.BaselineMode, ukc.BaselineOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline-sample8", func(b *testing.B) {
+		srng := rand.New(rand.NewSource(7))
+		for i := 0; i < b.N; i++ {
+			if _, err := ukc.SolveBaseline(pts, 4, ukc.BaselineSample, ukc.BaselineOptions{Rng: srng, Samples: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+// Command datagen emits synthetic uncertain k-center instances as JSON, for
+// use with cmd/ukcenter and the examples.
+//
+// Usage:
+//
+//	datagen -workload gaussian -n 100 -z 4 -dim 2 -seed 1 -out instance.json
+//	datagen -workload grid-graph -n 40 -z 3 -out graph.json
+//
+// Euclidean workloads: gaussian, bimodal, uniform, mixture1d.
+// Finite workloads: grid-graph, geometric-graph, tree-graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graphmetric"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "gaussian", "gaussian|bimodal|uniform|mixture1d|grid-graph|geometric-graph|tree-graph")
+		n        = flag.Int("n", 50, "number of uncertain points")
+		z        = flag.Int("z", 4, "locations per point")
+		dim      = flag.Int("dim", 2, "dimension (Euclidean workloads)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		vertices = flag.Int("vertices", 49, "graph vertex count (graph workloads)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *workload {
+	case "gaussian", "bimodal", "uniform", "mixture1d":
+		var pts []uncertain.Point[geom.Vec]
+		var err error
+		switch *workload {
+		case "gaussian":
+			pts, err = gen.GaussianClusters(rng, *n, *z, *dim, 4, 1, 0.4)
+		case "bimodal":
+			pts, err = gen.BimodalAdversarial(rng, *n, maxInt(*z, 2), *dim, 25)
+		case "uniform":
+			pts, err = gen.UniformBox(rng, *n, *z, *dim, 10)
+		case "mixture1d":
+			pts, err = gen.Mixture1D(rng, *n, *z, 4, 1.5)
+		}
+		if err != nil {
+			return err
+		}
+		return dataio.WriteEuclidean(w, pts)
+	case "grid-graph", "geometric-graph", "tree-graph":
+		space, err := buildGraphMetric(rng, *workload, *vertices)
+		if err != nil {
+			return err
+		}
+		pts, err := gen.OnVerticesLocal(rng, space, *n, *z)
+		if err != nil {
+			return err
+		}
+		return dataio.WriteFinite(w, space, pts)
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+}
+
+func buildGraphMetric(rng *rand.Rand, kind string, vertices int) (*metricspace.Finite, error) {
+	switch kind {
+	case "grid-graph":
+		side := 1
+		for side*side < vertices {
+			side++
+		}
+		g, err := graphmetric.GridGraph(side, side)
+		if err != nil {
+			return nil, err
+		}
+		return g.Metric()
+	case "geometric-graph":
+		g, _, err := graphmetric.RandomGeometric(vertices, 0.2, rng)
+		if err != nil {
+			return nil, err
+		}
+		return g.Metric()
+	default:
+		g, err := graphmetric.RandomTree(vertices, 0.5, 2, rng)
+		if err != nil {
+			return nil, err
+		}
+		return g.Metric()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

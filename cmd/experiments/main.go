@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper's evaluation (DESIGN.md §2):
+// every Table 1 row validated empirically, the runtime-scaling claims, the
+// baseline comparison, and the ablations. Output is aligned text; -csvdir
+// additionally writes each table as CSV.
+//
+// Usage:
+//
+//	experiments                 # run everything (minutes)
+//	experiments -quick          # CI-sized run (seconds)
+//	experiments -exp e1,e9      # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids: e1,rows,e8,e9,c1,a1,a2,a3,r2 or all")
+		quick  = flag.Bool("quick", false, "small instances (CI-sized)")
+		trials = flag.Int("trials", 0, "trials per cell (0 = default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvdir = flag.String("csvdir", "", "also write each table as CSV under this directory")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	runners := map[string]func(harness.Config) (*harness.Report, error){
+		"e1":   harness.RunE1,
+		"rows": harness.RunEuclideanRows,
+		"e8":   harness.RunE8,
+		"e9":   harness.RunE9,
+		"c1":   harness.RunC1,
+		"a1":   harness.RunA1,
+		"a2":   harness.RunA2,
+		"a3":   harness.RunA3,
+		"a4":   harness.RunA4,
+		"x1":   harness.RunX1,
+		"r2":   harness.RunR2,
+	}
+	order := []string{"e1", "rows", "e8", "e9", "c1", "a1", "a2", "a3", "a4", "x1", "r2"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if _, ok := runners[id]; !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	allPass := true
+	for _, id := range selected {
+		rep, err := runners[id](cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		rep.Render(os.Stdout)
+		if !rep.Pass {
+			allPass = false
+		}
+		if *csvdir != "" {
+			if err := writeCSVs(*csvdir, rep); err != nil {
+				return err
+			}
+		}
+	}
+	if !allPass {
+		return fmt.Errorf("one or more experiments failed their invariants")
+	}
+	return nil
+}
+
+func writeCSVs(dir string, rep *harness.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tab := range rep.Tables {
+		name := fmt.Sprintf("%s_%d.csv", strings.ToLower(rep.ID), i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := tab.RenderCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Command ukcenter solves an uncertain k-center instance from a JSON file
+// produced by cmd/datagen (or hand-written; see internal/dataio for the
+// schema) and prints the chosen centers, the assignment rule used, and the
+// exact expected cost.
+//
+// Usage:
+//
+//	ukcenter -input instance.json -k 3 -rule ep -solver gonzalez
+//	ukcenter -input graph.json -kind finite -k 2 -rule oc
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ukcenter:", err)
+		os.Exit(1)
+	}
+}
+
+type output struct {
+	Kind            string      `json:"kind"`
+	K               int         `json:"k"`
+	Rule            string      `json:"rule"`
+	Solver          string      `json:"solver"`
+	Centers         interface{} `json:"centers"`
+	Assign          []int       `json:"assign"`
+	Ecost           float64     `json:"ecost"`
+	EcostUnassigned float64     `json:"ecost_unassigned"`
+	CertainRadius   float64     `json:"certain_radius"`
+	EffectiveEps    float64     `json:"effective_eps"`
+}
+
+func run() error {
+	var (
+		input  = flag.String("input", "", "instance JSON file (required)")
+		kind   = flag.String("kind", "euclidean", "euclidean|finite")
+		k      = flag.Int("k", 3, "number of centers")
+		rule   = flag.String("rule", "ep", "assignment rule: ed|ep|oc")
+		solver = flag.String("solver", "gonzalez", "certain solver: gonzalez|eps|exact")
+		eps    = flag.Float64("eps", 0.5, "epsilon for -solver eps")
+	)
+	flag.Parse()
+	if *input == "" {
+		return fmt.Errorf("-input is required")
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	r, err := parseRule(*rule)
+	if err != nil {
+		return err
+	}
+	s, err := parseSolver(*solver)
+	if err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	switch *kind {
+	case "euclidean":
+		pts, err := dataio.ReadEuclidean(f)
+		if err != nil {
+			return err
+		}
+		res, err := core.SolveEuclidean(pts, *k, core.EuclideanOptions{
+			Rule: r, Solver: s, Eps: *eps,
+		})
+		if err != nil {
+			return err
+		}
+		centers := make([][]float64, len(res.Centers))
+		for i, c := range res.Centers {
+			centers[i] = []float64(c)
+		}
+		return enc.Encode(output{
+			Kind: *kind, K: *k, Rule: r.String(), Solver: s.String(),
+			Centers: centers, Assign: res.Assign, Ecost: res.Ecost,
+			EcostUnassigned: res.EcostUnassigned, CertainRadius: res.CertainRadius,
+			EffectiveEps: res.EffectiveEps,
+		})
+	case "finite":
+		space, pts, err := dataio.ReadFinite(f)
+		if err != nil {
+			return err
+		}
+		if s == core.SolverEps {
+			return fmt.Errorf("-solver eps requires a Euclidean instance; use gonzalez or exact")
+		}
+		res, err := core.SolveMetric[int](space, pts, space.Points(), *k, core.MetricOptions{
+			Rule: r, Solver: s,
+		})
+		if err != nil {
+			return err
+		}
+		return enc.Encode(output{
+			Kind: *kind, K: *k, Rule: r.String(), Solver: s.String(),
+			Centers: res.Centers, Assign: res.Assign, Ecost: res.Ecost,
+			EcostUnassigned: res.EcostUnassigned, CertainRadius: res.CertainRadius,
+			EffectiveEps: res.EffectiveEps,
+		})
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}
+
+func parseRule(s string) (core.Rule, error) {
+	switch s {
+	case "ed":
+		return core.RuleED, nil
+	case "ep":
+		return core.RuleEP, nil
+	case "oc":
+		return core.RuleOC, nil
+	default:
+		return 0, fmt.Errorf("unknown rule %q (want ed|ep|oc)", s)
+	}
+}
+
+func parseSolver(s string) (core.Solver, error) {
+	switch s {
+	case "gonzalez":
+		return core.SolverGonzalez, nil
+	case "eps":
+		return core.SolverEps, nil
+	case "exact":
+		return core.SolverExactDiscrete, nil
+	default:
+		return 0, fmt.Errorf("unknown solver %q (want gonzalez|eps|exact)", s)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseRule(t *testing.T) {
+	cases := map[string]core.Rule{"ed": core.RuleED, "ep": core.RuleEP, "oc": core.RuleOC}
+	for s, want := range cases {
+		got, err := parseRule(s)
+		if err != nil || got != want {
+			t.Errorf("parseRule(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseRule("bogus"); err == nil {
+		t.Error("bogus rule accepted")
+	}
+}
+
+func TestParseSolver(t *testing.T) {
+	cases := map[string]core.Solver{
+		"gonzalez": core.SolverGonzalez,
+		"eps":      core.SolverEps,
+		"exact":    core.SolverExactDiscrete,
+	}
+	for s, want := range cases {
+		got, err := parseSolver(s)
+		if err != nil || got != want {
+			t.Errorf("parseSolver(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseSolver("bogus"); err == nil {
+		t.Error("bogus solver accepted")
+	}
+}

@@ -1,0 +1,109 @@
+// Adversarial example — why the surrogate choice matters.
+//
+// Each uncertain point splits its probability mass between two modes far
+// apart (a vehicle that is either at the depot or at the worksite, a user
+// who is either at home or at the office). The expected point P̄ lands
+// mid-gap, in empty space; the 1-center P̃ commits to the heavier mode.
+// This is the regime that separates the paper's two surrogates and where
+// mode/sample baselines are brittle.
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	ukc "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const (
+		n   = 60
+		k   = 2
+		sep = 40.0 // distance between each point's two modes
+	)
+
+	pts := make([]ukc.Point, n)
+	for i := range pts {
+		// Mode A near the left cluster, mode B at distance sep.
+		ax := rng.NormFloat64() * 2
+		ay := rng.NormFloat64() * 2
+		w := 0.35 + 0.3*rng.Float64() // mass of mode A in [0.35, 0.65]
+		p, err := ukc.NewPoint(
+			[]ukc.Vec{
+				{ax, ay},
+				{ax + sep, ay},
+			},
+			[]float64{w, 1 - w},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts[i] = p
+	}
+
+	type row struct {
+		name string
+		run  func() (ukc.Result, error)
+	}
+	rows := []row{
+		{"expected point surrogate (EP rule)", func() (ukc.Result, error) {
+			return ukc.SolveEuclidean(pts, k, ukc.EuclideanOptions{
+				Surrogate: ukc.SurrogateExpectedPoint, Rule: ukc.RuleEP,
+			})
+		}},
+		{"1-center surrogate (OC rule)", func() (ukc.Result, error) {
+			return ukc.SolveEuclidean(pts, k, ukc.EuclideanOptions{
+				Surrogate: ukc.SurrogateOneCenter, Rule: ukc.RuleOC,
+			})
+		}},
+		{"mode baseline", func() (ukc.Result, error) {
+			return ukc.SolveBaseline(pts, k, ukc.BaselineMode, ukc.BaselineOptions{})
+		}},
+		{"best-of-8 samples baseline", func() (ukc.Result, error) {
+			return ukc.SolveBaseline(pts, k, ukc.BaselineSample,
+				ukc.BaselineOptions{Rng: rng, Samples: 8})
+		}},
+	}
+
+	fmt.Printf("n=%d uncertain points, two modes %.0f apart, k=%d\n\n", n, sep, k)
+	fmt.Printf("%-38s %12s %14s %16s\n", "method", "E[max] asgn", "E[max] unasgn", "center x-coords")
+	for _, r := range rows {
+		res, err := r.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-38s %12.3f %14.3f %16s\n", r.name, res.Ecost, res.EcostUnassigned, centerXs(res))
+	}
+
+	fmt.Println(`
+Reading the output: the two cost columns tell opposite stories, and that is
+the point of this example.
+
+Under the paper's ASSIGNED semantics each point is pinned to one center
+before the world realizes. Mode-pair centers (1-center surrogate, mode
+baseline) then pay ~sep whenever a point realizes at its other mode — with
+many points, some point almost surely does, so E[max] ≈ sep. Mid-gap
+centers (expected point) hedge: every realization is ~sep/2 away, which
+halves the assigned cost. This is why the expected-point pipeline carries
+the better proven factor (3+eps/4 vs 5+2eps).
+
+Under UNASSIGNED semantics each realization snaps to the nearest center,
+so mode-pair centers are nearly free while mid-gap centers still pay
+~sep/2. Pick the surrogate to match the semantics your application needs.
+All costs above are exact (O(N log N) sweep), not sampled.`)
+}
+
+func centerXs(res ukc.Result) string {
+	out := ""
+	for i, c := range res.Centers {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%.1f", c[0])
+	}
+	return out
+}

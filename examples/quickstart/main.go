@@ -1,0 +1,68 @@
+// Quickstart: build a handful of uncertain points, solve the k-center
+// problem with the paper's recommended pipeline, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ukc "repro"
+)
+
+func main() {
+	// Three "measurement clusters": each uncertain point is a sensor whose
+	// position is known only up to a few candidate readings.
+	mk := func(locs []ukc.Vec, probs []float64) ukc.Point {
+		p, err := ukc.NewPoint(locs, probs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	pts := []ukc.Point{
+		mk([]ukc.Vec{{0.0, 0.1}, {0.2, 0.0}, {0.1, 0.3}}, []float64{0.5, 0.3, 0.2}),
+		mk([]ukc.Vec{{0.4, 0.2}, {0.3, 0.1}}, []float64{0.6, 0.4}),
+		mk([]ukc.Vec{{5.0, 5.2}, {5.3, 4.9}}, []float64{0.5, 0.5}),
+		mk([]ukc.Vec{{5.1, 5.0}, {4.8, 5.1}, {5.2, 5.3}}, []float64{0.4, 0.4, 0.2}),
+		mk([]ukc.Vec{{10.0, 0.0}, {10.2, 0.3}}, []float64{0.7, 0.3}),
+		mk([]ukc.Vec{{9.9, 0.2}, {10.1, -0.1}}, []float64{0.5, 0.5}),
+	}
+
+	// The zero-value options are the paper's O(nz + n log k) pipeline:
+	// expected-point surrogates + Gonzalez + expected-point assignment,
+	// guaranteeing cost ≤ 4 × the restricted-assigned optimum.
+	res, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("centers:")
+	for i, c := range res.Centers {
+		fmt.Printf("  c%d = %v\n", i, c)
+	}
+	fmt.Println("assignment (point -> center):", res.Assign)
+	fmt.Printf("exact expected cost (assigned):   %.4f\n", res.Ecost)
+	fmt.Printf("exact expected cost (unassigned): %.4f\n", res.EcostUnassigned)
+
+	// The (1+ε) solver trades time for a 3+ε guarantee.
+	precise, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{
+		Rule:   ukc.RuleEP,
+		Solver: ukc.SolverEps,
+		Eps:    0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(1+eps) pipeline cost:            %.4f (eps certified %.2f)\n",
+		precise.Ecost, precise.EffectiveEps)
+
+	// The uncertain 1-center (Theorem 2.1): any expected point is within
+	// factor 2 of optimal.
+	c1, cost1, err := ukc.OneCenter(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1-center at %v, expected cost %.4f (guaranteed ≤ 2×OPT)\n", c1, cost1)
+}

@@ -1,0 +1,129 @@
+// Road network example — the general-metric setting (Theorems 2.6/2.7):
+// service vehicles move on a road network, their last known positions are
+// uncertain (a handful of nearby intersections each), and we must choose k
+// depot locations among the intersections minimizing the expected worst
+// vehicle-to-depot travel distance.
+//
+// Euclidean surrogates do not exist here; the paper's 1-center surrogate P̃
+// does. The example also shows that depots must be actual intersections.
+//
+//	go run ./examples/roadnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	ukc "repro"
+)
+
+const (
+	intersections = 80
+	vehicles      = 30
+	depots        = 3
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Build a road network: random planar-ish geometric graph, edges
+	// weighted by length.
+	g := ukc.NewGraph(intersections)
+	pos := make([][2]float64, intersections)
+	for i := range pos {
+		pos[i] = [2]float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	for i := 0; i < intersections; i++ {
+		for j := i + 1; j < intersections; j++ {
+			dx, dy := pos[i][0]-pos[j][0], pos[i][1]-pos[j][1]
+			if d := dx*dx + dy*dy; d < 2.2 { // connect near intersections
+				if err := g.AddEdge(i, j, d); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	if !g.Connected() {
+		// Guarantee connectivity with a ring road.
+		for i := 0; i < intersections; i++ {
+			_ = g.AddEdge(i, (i+1)%intersections, 5)
+		}
+	}
+	space, err := g.Metric()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Vehicles: last GPS fix snapped to 3 nearby intersections with
+	// confidence weights.
+	pts := make([]ukc.FinitePoint, vehicles)
+	for v := range pts {
+		base := rng.Intn(intersections)
+		// The three closest intersections to the base (by road distance).
+		best := []int{base}
+		for len(best) < 3 {
+			cand, candD := -1, 1e18
+			for u := 0; u < intersections; u++ {
+				if contains(best, u) {
+					continue
+				}
+				if d := space.Dist(base, u); d < candD {
+					cand, candD = u, d
+				}
+			}
+			best = append(best, cand)
+		}
+		p, err := ukc.NewFinitePoint(best, []float64{0.6, 0.25, 0.15})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts[v] = p
+	}
+
+	// Paper pipeline with the 1-center rule: factor 5+2ε vs the unrestricted
+	// optimum (ε = 1 for Gonzalez here).
+	oc, err := ukc.SolveMetric(space, pts, space.Points(), depots, ukc.MetricOptions{
+		Rule: ukc.RuleOC,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Same pipeline, expected-distance assignment (factor 7+2ε).
+	ed, err := ukc.SolveMetric(space, pts, space.Points(), depots, ukc.MetricOptions{
+		Rule: ukc.RuleED,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Exact certain k-center on the surrogates (ε = 0 — the best the
+	// reduction can do on a finite space).
+	exact, err := ukc.SolveMetric(space, pts, space.Points(), depots, ukc.MetricOptions{
+		Rule:   ukc.RuleOC,
+		Solver: ukc.SolverExactDiscrete,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-36s %10s %s\n", "method", "E[max]", "depots")
+	fmt.Printf("%-36s %10.3f %v\n", "OC rule + Gonzalez (5+2eps)", oc.Ecost, oc.Centers)
+	fmt.Printf("%-36s %10.3f %v\n", "ED rule + Gonzalez (7+2eps)", ed.Ecost, ed.Centers)
+	fmt.Printf("%-36s %10.3f %v\n", "OC rule + exact surrogate k-center", exact.Ecost, exact.Centers)
+
+	fmt.Println("\nvehicle -> depot assignment (OC rule):")
+	for v := 0; v < 6; v++ {
+		fmt.Printf("  vehicle %d (likely at node %d) -> depot node %d\n",
+			v, pts[v].Locs[0], oc.Centers[oc.Assign[v]])
+	}
+	fmt.Println("  ...")
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

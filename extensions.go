@@ -1,0 +1,73 @@
+package ukc
+
+// Extensions beyond the paper's Table 1: the future-work directions its
+// conclusion announces (uncertain k-median and k-means via the same
+// surrogate reduction) and one-pass streaming variants of the pipelines.
+
+import (
+	"math/rand"
+
+	"repro/internal/clusterx"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+	"repro/internal/stream"
+)
+
+// SolveKMedian solves the uncertain k-median (expected sum of distances)
+// with the surrogate reduction: 1-center surrogates, discrete local-search
+// k-median over the candidate set, expected-distance assignment. Returns
+// centers, assignment and the exact expected cost.
+func SolveKMedian(pts []Point, candidates []Vec, k int) ([]Vec, []int, float64, error) {
+	return clusterx.SolveUncertainKMedian[geom.Vec](metricspace.Euclidean{}, pts, candidates, k)
+}
+
+// SolveKMeans solves the uncertain k-means (expected sum of squared
+// distances). The reduction to Lloyd's algorithm on the expected points is
+// EXACT up to the additive variance floor Σ Var(P_i), which is also
+// returned: cost = clusteringCost(P̄) + floor.
+func SolveKMeans(pts []Point, k int, rng *rand.Rand, maxIter int) (centers []Vec, assign []int, cost, varianceFloor float64, err error) {
+	return clusterx.SolveUncertainKMeans(pts, k, rng, maxIter)
+}
+
+// EMedianCost returns the exact uncertain k-median cost of an assignment.
+func EMedianCost(pts []Point, centers []Vec, assign []int) (float64, error) {
+	return clusterx.EMedianCostAssigned[geom.Vec](metricspace.Euclidean{}, pts, centers, assign)
+}
+
+// EMeansCost returns the exact uncertain k-means cost of an assignment
+// (via the bias–variance identity).
+func EMeansCost(pts []Point, centers []Vec, assign []int) (float64, error) {
+	return clusterx.EMeansCostAssigned(pts, centers, assign)
+}
+
+// PointVariance returns Var(P) = E‖X − P̄‖² of one uncertain point — the
+// irreducible per-point contribution to the uncertain k-means cost.
+func PointVariance(p Point) float64 { return clusterx.Variance(p) }
+
+// Stream1Center is a one-pass uncertain 1-center sketch (O(1) memory):
+// expected-point surrogates into a streaming minimum enclosing ball.
+type Stream1Center = stream.Uncertain1Center
+
+// StreamKCenter is a one-pass uncertain k-center sketch (O(k) memory):
+// expected-point surrogates into the doubling algorithm.
+type StreamKCenter = stream.UncertainKCenter
+
+// NewStreamKCenter returns a streaming uncertain k-center sketch.
+func NewStreamKCenter(k int) (*StreamKCenter, error) {
+	return stream.NewUncertainKCenter(k)
+}
+
+// SolveUnassigned optimizes the paper's unassigned objective
+// E[max_i min_j d(X_i, c_j)] directly, by multi-start single-swap local
+// search over the candidate set on the exact cost evaluator. The paper
+// defines this version but gives no algorithm for it; on brute-forceable
+// instances the search matches the global optimum (see tests).
+func SolveUnassigned(pts []Point, candidates []Vec, k, maxIter int) ([]Vec, float64, error) {
+	return core.SolveUnassignedLocalSearch[geom.Vec](metricspace.Euclidean{}, pts, candidates, k, maxIter)
+}
+
+// SolveUnassignedMetric is SolveUnassigned over a finite metric space.
+func SolveUnassignedMetric(space *FiniteSpace, pts []FinitePoint, candidates []int, k, maxIter int) ([]int, float64, error) {
+	return core.SolveUnassignedLocalSearch[int](space, pts, candidates, k, maxIter)
+}

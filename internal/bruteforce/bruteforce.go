@@ -1,0 +1,212 @@
+// Package bruteforce computes optimal solutions of the uncertain k-center
+// problem variants by exhaustive search over a candidate center set (and,
+// for the unrestricted assigned version, over assignments). It exists to
+// anchor the empirical approximation-ratio experiments: the theorems bound
+// algorithm cost against the continuous optimum, and the discrete optimum
+// computed here is an upper bound on that optimum, so measured ratios are
+// lower bounds on true ratios and the theorem bounds must still hold.
+//
+// In a finite metric space with candidates = all space points the discrete
+// optimum IS the true optimum and the checks are exact.
+//
+// Everything here is exponential; explicit limits guard against misuse.
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// Solution is an optimal center set with its cost (and assignment when the
+// problem version has one).
+type Solution[P any] struct {
+	Centers []P
+	Assign  []int // nil for the unassigned version
+	Cost    float64
+}
+
+// forEachSubset enumerates all k-subsets of {0..m-1}, calling fn with a
+// reused index slice. It returns an error if the count exceeds maxSubsets.
+func forEachSubset(m, k, maxSubsets int, fn func(idx []int) error) error {
+	if k <= 0 || m <= 0 {
+		return fmt.Errorf("bruteforce: invalid subset shape m=%d k=%d", m, k)
+	}
+	if k > m {
+		k = m
+	}
+	if c := binomial(m, k); c < 0 || c > maxSubsets {
+		return fmt.Errorf("bruteforce: C(%d,%d) exceeds limit %d", m, k, maxSubsets)
+	}
+	idx := make([]int, k)
+	var rec func(pos, from int) error
+	rec = func(pos, from int) error {
+		if pos == k {
+			return fn(idx)
+		}
+		for c := from; c <= m-(k-pos); c++ {
+			idx[pos] = c
+			if err := rec(pos+1, c+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, 0)
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c < 0 || c > 1<<40 {
+			return -1
+		}
+	}
+	return c
+}
+
+func selectCenters[P any](candidates []P, idx []int) []P {
+	out := make([]P, len(idx))
+	for i, j := range idx {
+		out[i] = candidates[j]
+	}
+	return out
+}
+
+// RestrictedAssigned finds the candidate k-subset minimizing the exact
+// assigned expected cost under the given assignment rule (computing the
+// rule's surrogates once where possible is the caller's concern; the rule is
+// re-derived per center set as the problem definition requires).
+func RestrictedAssigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, rule core.Rule, ruleCandidates []P, maxSubsets int) (Solution[P], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Solution[P]{}, err
+	}
+	best := Solution[P]{Cost: math.Inf(1)}
+	err := forEachSubset(len(candidates), k, maxSubsets, func(idx []int) error {
+		centers := selectCenters(candidates, idx)
+		assign, err := core.AssignMetric(space, pts, centers, rule, ruleCandidates)
+		if err != nil {
+			return err
+		}
+		cost, err := core.EcostAssigned(space, pts, centers, assign)
+		if err != nil {
+			return err
+		}
+		if cost < best.Cost {
+			best = Solution[P]{Centers: centers, Assign: assign, Cost: cost}
+		}
+		return nil
+	})
+	return best, err
+}
+
+// RestrictedAssignedEuclidean is RestrictedAssigned for Euclidean instances,
+// supporting all three rules (EP included).
+func RestrictedAssignedEuclidean(pts []uncertain.Point[geom.Vec], candidates []geom.Vec, k int, rule core.Rule, maxSubsets int) (Solution[geom.Vec], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Solution[geom.Vec]{}, err
+	}
+	space := metricspace.Euclidean{}
+	best := Solution[geom.Vec]{Cost: math.Inf(1)}
+	err := forEachSubset(len(candidates), k, maxSubsets, func(idx []int) error {
+		centers := selectCenters(candidates, idx)
+		assign, err := core.AssignEuclidean(pts, centers, rule)
+		if err != nil {
+			return err
+		}
+		cost, err := core.EcostAssigned[geom.Vec](space, pts, centers, assign)
+		if err != nil {
+			return err
+		}
+		if cost < best.Cost {
+			best = Solution[geom.Vec]{Centers: centers, Assign: assign, Cost: cost}
+		}
+		return nil
+	})
+	return best, err
+}
+
+// Unassigned finds the candidate k-subset minimizing the exact unassigned
+// expected cost.
+func Unassigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, maxSubsets int) (Solution[P], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Solution[P]{}, err
+	}
+	best := Solution[P]{Cost: math.Inf(1)}
+	err := forEachSubset(len(candidates), k, maxSubsets, func(idx []int) error {
+		centers := selectCenters(candidates, idx)
+		cost, err := core.EcostUnassigned(space, pts, centers)
+		if err != nil {
+			return err
+		}
+		if cost < best.Cost {
+			best = Solution[P]{Centers: centers, Cost: cost}
+		}
+		return nil
+	})
+	return best, err
+}
+
+// Unrestricted finds the candidate k-subset AND assignment minimizing the
+// exact assigned expected cost — the unrestricted assigned optimum over the
+// candidate set. The assignment search is k^n; maxAssign guards it.
+func Unrestricted[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, maxSubsets, maxAssign int) (Solution[P], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Solution[P]{}, err
+	}
+	n := len(pts)
+	kk := k
+	if kk > len(candidates) {
+		kk = len(candidates)
+	}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= kk
+		if total > maxAssign || total < 0 {
+			return Solution[P]{}, fmt.Errorf("bruteforce: %d^%d assignments exceed limit %d", kk, n, maxAssign)
+		}
+	}
+	best := Solution[P]{Cost: math.Inf(1)}
+	err := forEachSubset(len(candidates), k, maxSubsets, func(idx []int) error {
+		centers := selectCenters(candidates, idx)
+		assign := make([]int, n)
+		for {
+			cost, err := core.EcostAssigned(space, pts, centers, assign)
+			if err != nil {
+				return err
+			}
+			if cost < best.Cost {
+				best = Solution[P]{
+					Centers: centers,
+					Assign:  append([]int(nil), assign...),
+					Cost:    cost,
+				}
+			}
+			// Odometer over assignments.
+			p := 0
+			for p < n {
+				assign[p]++
+				if assign[p] < len(centers) {
+					break
+				}
+				assign[p] = 0
+				p++
+			}
+			if p == n {
+				return nil
+			}
+		}
+	})
+	return best, err
+}

@@ -1,0 +1,139 @@
+package bruteforce
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// UnassignedParallel is Unassigned with the candidate-subset search fanned
+// out over GOMAXPROCS workers (sharded by the subset's first index). It
+// returns the same optimum as Unassigned; ties may resolve to a different
+// optimal center set.
+func UnassignedParallel[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, maxSubsets int) (Solution[P], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Solution[P]{}, err
+	}
+	m := len(candidates)
+	kk := k
+	if kk > m {
+		kk = m
+	}
+	if c := binomial(m, kk); c < 0 || c > maxSubsets {
+		return Solution[P]{}, errSubsetLimit(m, kk, maxSubsets)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type res struct {
+		sol Solution[P]
+		err error
+	}
+	results := make([]res, workers)
+	firstIdx := make(chan int, m)
+	for f := 0; f <= m-kk; f++ {
+		firstIdx <- f
+	}
+	close(firstIdx)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			best := Solution[P]{Cost: math.Inf(1)}
+			idx := make([]int, kk)
+			var rec func(pos, from int) error
+			rec = func(pos, from int) error {
+				if pos == kk {
+					centers := selectCenters(candidates, idx)
+					cost, err := core.EcostUnassigned(space, pts, centers)
+					if err != nil {
+						return err
+					}
+					if cost < best.Cost {
+						best = Solution[P]{Centers: centers, Cost: cost}
+					}
+					return nil
+				}
+				for c := from; c <= m-(kk-pos); c++ {
+					idx[pos] = c
+					if err := rec(pos+1, c+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for f := range firstIdx {
+				idx[0] = f
+				if kk == 1 {
+					centers := selectCenters(candidates, idx[:1])
+					cost, err := core.EcostUnassigned(space, pts, centers)
+					if err != nil {
+						results[w] = res{err: err}
+						return
+					}
+					if cost < best.Cost {
+						best = Solution[P]{Centers: centers, Cost: cost}
+					}
+					continue
+				}
+				if err := rec(1, f+1); err != nil {
+					results[w] = res{err: err}
+					return
+				}
+			}
+			results[w] = res{sol: best}
+		}(w)
+	}
+	wg.Wait()
+	best := Solution[P]{Cost: math.Inf(1)}
+	for _, r := range results {
+		if r.err != nil {
+			return Solution[P]{}, r.err
+		}
+		if r.sol.Cost < best.Cost {
+			best = r.sol
+		}
+	}
+	return best, nil
+}
+
+func errSubsetLimit(m, k, limit int) error {
+	return &subsetLimitError{m: m, k: k, limit: limit}
+}
+
+type subsetLimitError struct{ m, k, limit int }
+
+func (e *subsetLimitError) Error() string {
+	return "bruteforce: C(" + itoa(e.m) + "," + itoa(e.k) + ") exceeds limit " + itoa(e.limit)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

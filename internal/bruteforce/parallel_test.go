@@ -1,0 +1,83 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// TestUnassignedParallelMatchesSequential: the parallel search must find the
+// same optimal cost as the sequential one on random instances.
+func TestUnassignedParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		pts, err := gen.UniformBox(rng, 2+rng.Intn(4), 1+rng.Intn(3), 2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := uncertain.AllLocations(pts)
+		k := 1 + rng.Intn(3)
+		seq, err := Unassigned[geom.Vec](euclid, pts, cands, k, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := UnassignedParallel[geom.Vec](euclid, pts, cands, k, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(seq.Cost-par.Cost) > 1e-9*(1+seq.Cost) {
+			t.Fatalf("trial %d: sequential %g vs parallel %g", trial, seq.Cost, par.Cost)
+		}
+		if len(par.Centers) != len(seq.Centers) {
+			t.Fatalf("trial %d: center count %d vs %d", trial, len(par.Centers), len(seq.Centers))
+		}
+	}
+}
+
+func TestUnassignedParallelGuards(t *testing.T) {
+	pts := []uncertain.Point[geom.Vec]{uncertain.NewDeterministic(geom.Vec{0})}
+	cands := []geom.Vec{{0}}
+	if _, err := UnassignedParallel[geom.Vec](euclid, nil, cands, 1, 10); err == nil {
+		t.Error("empty set accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	big, err := gen.UniformBox(rng, 20, 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnassignedParallel[geom.Vec](euclid, big, uncertain.AllLocations(big), 10, 100); err == nil {
+		t.Error("subset explosion accepted")
+	}
+	// k=1 path.
+	sol, err := UnassignedParallel[geom.Vec](euclid, pts, cands, 1, 10)
+	if err != nil || sol.Cost != 0 {
+		t.Errorf("k=1: %v cost %g", err, sol.Cost)
+	}
+}
+
+func BenchmarkUnassignedSequentialVsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts, err := gen.UniformBox(rng, 8, 3, 2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := uncertain.AllLocations(pts)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Unassigned[geom.Vec](euclid, pts, cands, 3, 5_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := UnassignedParallel[geom.Vec](euclid, pts, cands, 3, 5_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/kcenter"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// Rule names the paper's three assignment rules for the restricted assigned
+// problem versions.
+type Rule int
+
+const (
+	// RuleED is the expected distance assignment: P_i goes to the center
+	// minimizing Σ_j p_ij·d(P_ij, c) (introduced by Wang & Zhang).
+	RuleED Rule = iota
+	// RuleEP is the expected point assignment: P_i goes to the center
+	// nearest to its expected point P̄_i (Euclidean only; new in the paper).
+	RuleEP
+	// RuleOC is the 1-center assignment: P_i goes to the center nearest to
+	// the 1-center P̃_i of its own distribution (new in the paper).
+	RuleOC
+)
+
+// String returns the paper's name for the rule.
+func (r Rule) String() string {
+	switch r {
+	case RuleED:
+		return "expected-distance"
+	case RuleEP:
+		return "expected-point"
+	case RuleOC:
+		return "one-center"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// AssignED computes the expected distance assignment: for each uncertain
+// point, the index of the center with minimal expected distance. O(n·z·k).
+func AssignED[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P) ([]int, error) {
+	if len(centers) == 0 {
+		return nil, fmt.Errorf("core: AssignED with no centers")
+	}
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		best, bestE := -1, 0.0
+		for c, ctr := range centers {
+			e := uncertain.ExpectedDist(space, p, ctr)
+			if best < 0 || e < bestE {
+				best, bestE = c, e
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// AssignBySurrogate assigns each point to the center nearest its surrogate
+// (surrogates[i] stands in for point i). With surrogates = expected points
+// this is the EP rule; with surrogates = 1-centers it is the OC rule.
+func AssignBySurrogate[P any](space metricspace.Space[P], surrogates, centers []P) ([]int, error) {
+	if len(centers) == 0 {
+		return nil, fmt.Errorf("core: AssignBySurrogate with no centers")
+	}
+	return kcenter.AssignNearest(space, surrogates, centers), nil
+}
+
+// AssignEuclidean dispatches the named rule for Euclidean instances,
+// computing the needed surrogates internally.
+func AssignEuclidean(pts []uncertain.Point[geom.Vec], centers []geom.Vec, rule Rule) ([]int, error) {
+	space := metricspace.Euclidean{}
+	switch rule {
+	case RuleED:
+		return AssignED[geom.Vec](space, pts, centers)
+	case RuleEP:
+		return AssignBySurrogate[geom.Vec](space, uncertain.ExpectedPoints(pts), centers)
+	case RuleOC:
+		return AssignBySurrogate[geom.Vec](space, uncertain.OneCentersEuclidean(pts), centers)
+	default:
+		return nil, fmt.Errorf("core: unknown rule %v", rule)
+	}
+}
+
+// AssignMetric dispatches the named rule for general-metric instances.
+// RuleEP is rejected: expected points do not exist outside linear spaces.
+// candidates is the surrogate search space for RuleOC (typically all
+// locations or all space points).
+func AssignMetric[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P, rule Rule, candidates []P) ([]int, error) {
+	switch rule {
+	case RuleED:
+		return AssignED(space, pts, centers)
+	case RuleOC:
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("core: RuleOC needs a surrogate candidate set")
+		}
+		return AssignBySurrogate(space, uncertain.OneCentersDiscrete(space, pts, candidates), centers)
+	case RuleEP:
+		return nil, fmt.Errorf("core: the expected point rule requires a Euclidean space")
+	default:
+		return nil, fmt.Errorf("core: unknown rule %v", rule)
+	}
+}

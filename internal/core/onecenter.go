@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// OneCenterApprox implements Theorem 2.1: the expected point P̄ of any single
+// uncertain point is a 2-approximation of the optimal uncertain 1-center
+// under Ecost. The theorem holds for P̄_1 alone (computable in O(z),
+// independent of n); this function additionally evaluates the exact Ecost of
+// every P̄_i and returns the best, which can only improve the solution while
+// keeping the factor-2 certificate. It returns the chosen center and its
+// exact Ecost.
+func OneCenterApprox(pts []uncertain.Point[geom.Vec]) (geom.Vec, float64, error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, 0, err
+	}
+	if _, err := uncertain.CommonDim(pts); err != nil {
+		return nil, 0, err
+	}
+	space := metricspace.Euclidean{}
+	var best geom.Vec
+	bestCost := math.Inf(1)
+	for _, p := range pts {
+		c := uncertain.ExpectedPoint(p)
+		cost, err := EcostUnassigned[geom.Vec](space, pts, []geom.Vec{c})
+		if err != nil {
+			return nil, 0, err
+		}
+		if cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best, bestCost, nil
+}
+
+// OneCenterFirstExpectedPoint is the literal Theorem 2.1 construction: P̄ of
+// the first point, in O(z) time, with its exact Ecost.
+func OneCenterFirstExpectedPoint(pts []uncertain.Point[geom.Vec]) (geom.Vec, float64, error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, 0, err
+	}
+	if _, err := uncertain.CommonDim(pts); err != nil {
+		return nil, 0, err
+	}
+	c := uncertain.ExpectedPoint(pts[0])
+	cost, err := EcostUnassigned[geom.Vec](metricspace.Euclidean{}, pts, []geom.Vec{c})
+	return c, cost, err
+}
+
+// Optimal1CenterEuclidean numerically minimizes the uncertain 1-center cost
+// f(c) = E[max_i d(X_i, c)] over c ∈ R^d. f is convex (a max of convex
+// functions inside an expectation), so compass/pattern search converges to
+// the global optimum; tol is the termination step size relative to the
+// instance diameter (default 1e-6). This is the E1 experiment's reference
+// optimum.
+func Optimal1CenterEuclidean(pts []uncertain.Point[geom.Vec], tol float64) (geom.Vec, float64, error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, 0, err
+	}
+	if _, err := uncertain.CommonDim(pts); err != nil {
+		return nil, 0, err
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	space := metricspace.Euclidean{}
+	eval := func(c geom.Vec) (float64, error) {
+		return EcostUnassigned[geom.Vec](space, pts, []geom.Vec{c})
+	}
+
+	all := uncertain.AllLocations(pts)
+	bbox := geom.BoundingBox(all)
+	diam := bbox.Diameter()
+
+	// Start from the best expected point (already within factor 2).
+	cur, curCost, err := OneCenterApprox(pts)
+	if err != nil {
+		return nil, 0, err
+	}
+	cur = cur.Clone()
+	if diam == 0 {
+		return cur, curCost, nil
+	}
+	dim := cur.Dim()
+	step := diam / 4
+	for step > tol*diam {
+		improved := false
+		for a := 0; a < dim; a++ {
+			for _, s := range []float64{step, -step} {
+				cand := cur.Clone()
+				cand[a] += s
+				cost, err := eval(cand)
+				if err != nil {
+					return nil, 0, fmt.Errorf("core: pattern search: %w", err)
+				}
+				if cost < curCost-1e-15*(1+curCost) {
+					cur, curCost = cand, cost
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return cur, curCost, nil
+}

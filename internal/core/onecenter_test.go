@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// TestTheorem21 validates the factor-2 guarantee of the expected-point
+// 1-center against the numerically-computed convex optimum.
+func TestTheorem21(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	for trial := 0; trial < 20; trial++ {
+		var pts []uncertain.Point[geom.Vec]
+		var err error
+		if trial%2 == 0 {
+			pts, err = gen.GaussianClusters(rng, 2+rng.Intn(5), 1+rng.Intn(3), 1+rng.Intn(3), 2, 1, 0.5)
+		} else {
+			pts, err = gen.BimodalAdversarial(rng, 2+rng.Intn(5), 2, 2, 15)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The literal Theorem 2.1 construction (P̄ of the first point).
+		_, firstCost, err := OneCenterFirstExpectedPoint(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The best-of-all-expected-points refinement.
+		_, bestCost, err := OneCenterApprox(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestCost > firstCost+1e-9 {
+			t.Fatalf("trial %d: best-of-P̄ %g worse than first-P̄ %g", trial, bestCost, firstCost)
+		}
+		opt, optCost, err := Optimal1CenterEuclidean(pts, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opt.IsFinite() {
+			t.Fatal("non-finite optimal center")
+		}
+		if optCost <= 0 {
+			continue
+		}
+		if ratio := firstCost / optCost; ratio > 2+1e-6 {
+			t.Errorf("trial %d: Theorem 2.1 violated: ratio %.4f > 2", trial, ratio)
+		}
+	}
+}
+
+func TestOneCenterValidation(t *testing.T) {
+	if _, _, err := OneCenterApprox(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := OneCenterFirstExpectedPoint(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := Optimal1CenterEuclidean(nil, 1e-6); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestOneCenterDeterministicPoints(t *testing.T) {
+	// For certain points the optimal 1-center under Ecost is the MEB center;
+	// with two points it is the midpoint and the cost is half the distance.
+	pts := []uncertain.Point[geom.Vec]{
+		uncertain.NewDeterministic(geom.Vec{0, 0}),
+		uncertain.NewDeterministic(geom.Vec{4, 0}),
+	}
+	c, cost, err := Optimal1CenterEuclidean(pts, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-2) > 1e-3 {
+		t.Errorf("optimal cost = %g, want 2", cost)
+	}
+	if geom.Dist(c, geom.Vec{2, 0}) > 1e-2 {
+		t.Errorf("optimal center = %v, want ≈(2,0)", c)
+	}
+}
+
+func TestOneCenterSinglePoint(t *testing.T) {
+	// One uncertain point: the optimal 1-center minimizes E d(X, c), i.e. it
+	// is the geometric median; the expected point is within factor 2.
+	p, err := uncertain.New(
+		[]geom.Vec{{0, 0}, {10, 0}},
+		[]float64{0.9, 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []uncertain.Point[geom.Vec]{p}
+	_, optCost, err := Optimal1CenterEuclidean(pts, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The median of a 0.9/0.1 two-point distribution is the heavy point:
+	// optimal cost = 0.1·10 = 1.
+	if math.Abs(optCost-1) > 1e-3 {
+		t.Errorf("optimal cost = %g, want 1", optCost)
+	}
+	_, apxCost, err := OneCenterApprox(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apxCost > 2*optCost+1e-6 {
+		t.Errorf("approx cost %g > 2×opt %g", apxCost, optCost)
+	}
+}
+
+func TestOptimal1CenterDegenerateAllSame(t *testing.T) {
+	p := uncertain.NewDeterministic(geom.Vec{3, 3})
+	pts := []uncertain.Point[geom.Vec]{p, p, p}
+	c, cost, err := Optimal1CenterEuclidean(pts, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || !c.Equal(geom.Vec{3, 3}, 1e-9) {
+		t.Errorf("center=%v cost=%g, want (3,3) and 0", c, cost)
+	}
+}

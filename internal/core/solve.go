@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/kcenter"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// Surrogate selects which certain stand-in replaces each uncertain point
+// before the deterministic k-center step.
+type Surrogate int
+
+const (
+	// SurrogateExpectedPoint uses P̄_i = Σ_j p_ij·P_ij (Euclidean only).
+	SurrogateExpectedPoint Surrogate = iota
+	// SurrogateOneCenter uses P̃_i, the 1-center (weighted 1-median) of the
+	// point's own distribution (any metric).
+	SurrogateOneCenter
+)
+
+// String names the surrogate.
+func (s Surrogate) String() string {
+	switch s {
+	case SurrogateExpectedPoint:
+		return "expected-point"
+	case SurrogateOneCenter:
+		return "one-center"
+	default:
+		return fmt.Sprintf("Surrogate(%d)", int(s))
+	}
+}
+
+// Solver selects the deterministic k-center algorithm run on the surrogates.
+type Solver int
+
+const (
+	// SolverGonzalez is the greedy 2-approximation (ε = 1 in the theorems):
+	// the paper's O(nz + n·log k) pipelines.
+	SolverGonzalez Solver = iota
+	// SolverEps is the Euclidean (1+ε) grid scheme (kcenter.EpsApprox).
+	SolverEps
+	// SolverExactDiscrete is the exact discrete k-center over the surrogate
+	// set (kcenter.DiscreteBnB) — in a finite metric space with all points
+	// as candidates this realizes ε = 0.
+	SolverExactDiscrete
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case SolverGonzalez:
+		return "gonzalez"
+	case SolverEps:
+		return "eps-approx"
+	case SolverExactDiscrete:
+		return "exact-discrete"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// Result is the output of a surrogate pipeline.
+type Result[P any] struct {
+	// Centers are the k chosen centers.
+	Centers []P
+	// Assign maps each input point to its center index under the requested
+	// assignment rule.
+	Assign []int
+	// Ecost is the exact expected-max cost of (Centers, Assign).
+	Ecost float64
+	// EcostUnassigned is the exact unassigned expected cost of Centers
+	// (every realization snaps to its nearest center); always ≤ Ecost.
+	EcostUnassigned float64
+	// Surrogates are the certain stand-ins the pipeline clustered.
+	Surrogates []P
+	// CertainRadius is the deterministic k-center radius achieved on the
+	// surrogates (the paper's cost(c_1…c_k)).
+	CertainRadius float64
+	// EffectiveEps is the ε certified by the certain solver (1 for
+	// Gonzalez, 0 for exact discrete, the grid value for SolverEps).
+	EffectiveEps float64
+}
+
+// EuclideanOptions configures SolveEuclidean. The zero value is the paper's
+// recommended fast pipeline: expected-point surrogates, Gonzalez, EP rule
+// (Table 1 row "k-center, Euclidean, O(nz + n log k), expected point, 4").
+type EuclideanOptions struct {
+	Surrogate Surrogate
+	Rule      Rule
+	Solver    Solver
+	// Eps is the ε for SolverEps (default 0.5).
+	Eps float64
+	// EpsOptions tunes the grid solver.
+	EpsOptions kcenter.EpsOptions
+	// Start is the Gonzalez start index (default 0).
+	Start int
+	// CoresetEps, when positive, shrinks the surrogate set with an
+	// additive-error k-center coreset (kcenter.Coreset) before the certain
+	// solver runs. The deterministic radius degrades by at most
+	// CoresetEps·r_k, i.e. O(CoresetEps)·OPT. Worth it only when the solver
+	// is super-linear (SolverEps, SolverExactDiscrete) — Gonzalez is already
+	// O(nk) and the coreset construction costs as much as running it.
+	CoresetEps float64
+	// CoresetMaxSize caps the coreset size (0 = no cap).
+	CoresetMaxSize int
+}
+
+// SolveEuclidean runs the paper's Euclidean surrogate pipeline:
+//
+//  1. replace each uncertain point by its surrogate (P̄ in O(nz), or P̃ by
+//     Weiszfeld);
+//  2. run the chosen deterministic k-center solver on the surrogates;
+//  3. assign points to centers by the chosen rule;
+//  4. report the exact expected cost.
+//
+// Approximation guarantees (vs the optimum of the corresponding problem
+// version) with expected-point surrogates: Gonzalez+ED 6, Gonzalez+EP 4,
+// (1+ε)+ED 5+ε, (1+ε)+EP 3+ε (Theorems 2.2, 2.4, 2.5).
+func SolveEuclidean(pts []uncertain.Point[geom.Vec], k int, opts EuclideanOptions) (Result[geom.Vec], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Result[geom.Vec]{}, err
+	}
+	if _, err := uncertain.CommonDim(pts); err != nil {
+		return Result[geom.Vec]{}, err
+	}
+	if k <= 0 {
+		return Result[geom.Vec]{}, fmt.Errorf("core: k = %d", k)
+	}
+	space := metricspace.Euclidean{}
+
+	var surrogates []geom.Vec
+	switch opts.Surrogate {
+	case SurrogateExpectedPoint:
+		surrogates = uncertain.ExpectedPoints(pts)
+	case SurrogateOneCenter:
+		surrogates = uncertain.OneCentersEuclidean(pts)
+	default:
+		return Result[geom.Vec]{}, fmt.Errorf("core: unknown surrogate %v", opts.Surrogate)
+	}
+
+	// Optional large-n path: run the certain solver on a coreset of the
+	// surrogates instead of all of them.
+	solveSet := surrogates
+	if opts.CoresetEps > 0 {
+		cs, err := kcenter.Coreset[geom.Vec](space, surrogates, k, opts.CoresetEps, opts.CoresetMaxSize)
+		if err != nil {
+			return Result[geom.Vec]{}, err
+		}
+		solveSet = kcenter.Select(surrogates, cs.Indices)
+	}
+
+	var centers []geom.Vec
+	var radius, effEps float64
+	switch opts.Solver {
+	case SolverGonzalez:
+		idx, r, err := kcenter.Gonzalez[geom.Vec](space, solveSet, k, opts.Start)
+		if err != nil {
+			return Result[geom.Vec]{}, err
+		}
+		centers, radius, effEps = kcenter.Select(solveSet, idx), r, 1
+	case SolverEps:
+		eps := opts.Eps
+		if eps <= 0 {
+			eps = 0.5
+		}
+		res, err := kcenter.EpsApprox(solveSet, k, eps, opts.EpsOptions)
+		if err != nil {
+			return Result[geom.Vec]{}, err
+		}
+		centers, radius, effEps = res.Centers, res.Radius, res.EffectiveEps
+	case SolverExactDiscrete:
+		idx, r, err := kcenter.DiscreteBnB[geom.Vec](space, solveSet, solveSet, k, opts.EpsOptions.MaxNodes)
+		if err != nil {
+			return Result[geom.Vec]{}, err
+		}
+		// Restricting centers to surrogate points is itself a
+		// 2-approximation of the continuous surrogate optimum, so ε = 1.
+		centers, radius, effEps = kcenter.Select(solveSet, idx), r, 1
+	default:
+		return Result[geom.Vec]{}, fmt.Errorf("core: unknown solver %v", opts.Solver)
+	}
+
+	if opts.CoresetEps > 0 {
+		// Report the radius over ALL surrogates, not just the coreset.
+		radius = kcenter.Radius[geom.Vec](space, surrogates, centers)
+	}
+	assign, err := AssignEuclidean(pts, centers, opts.Rule)
+	if err != nil {
+		return Result[geom.Vec]{}, err
+	}
+	return finishResult(space, pts, centers, assign, surrogates, radius, effEps)
+}
+
+// MetricOptions configures SolveMetric. The zero value is Gonzalez with the
+// ED rule (Theorem 2.6: factor 7+2ε for the unrestricted optimum).
+type MetricOptions struct {
+	Rule   Rule
+	Solver Solver
+	// MaxNodes bounds SolverExactDiscrete's branch-and-bound.
+	MaxNodes int
+	// Start is the Gonzalez start index (default 0).
+	Start int
+}
+
+// SolveMetric runs the paper's general-metric pipeline (Theorems 2.6, 2.7):
+// surrogates are the 1-centers P̃_i computed over the candidate set (usually
+// all space points, or all locations), the deterministic k-center runs on
+// the surrogates, and points are assigned by RuleED (factor 7+2ε) or RuleOC
+// (factor 5+2ε). RuleEP is rejected outside Euclidean space.
+func SolveMetric[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, opts MetricOptions) (Result[P], error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return Result[P]{}, err
+	}
+	if k <= 0 {
+		return Result[P]{}, fmt.Errorf("core: k = %d", k)
+	}
+	if len(candidates) == 0 {
+		return Result[P]{}, fmt.Errorf("core: SolveMetric needs a candidate set")
+	}
+	surrogates := uncertain.OneCentersDiscrete(space, pts, candidates)
+
+	var centers []P
+	var radius, effEps float64
+	switch opts.Solver {
+	case SolverGonzalez:
+		idx, r, err := kcenter.Gonzalez(space, surrogates, k, opts.Start)
+		if err != nil {
+			return Result[P]{}, err
+		}
+		centers, radius, effEps = kcenter.Select(surrogates, idx), r, 1
+	case SolverExactDiscrete:
+		idx, r, err := kcenter.DiscreteBnB(space, surrogates, candidates, k, opts.MaxNodes)
+		if err != nil {
+			return Result[P]{}, err
+		}
+		centers = make([]P, len(idx))
+		for i, c := range idx {
+			centers[i] = candidates[c]
+		}
+		// Exact over the candidate set; if candidates = all space points
+		// this is the true certain optimum (ε = 0).
+		radius, effEps = r, 0
+	case SolverEps:
+		return Result[P]{}, fmt.Errorf("core: SolverEps requires a Euclidean space; use SolverExactDiscrete")
+	default:
+		return Result[P]{}, fmt.Errorf("core: unknown solver %v", opts.Solver)
+	}
+
+	assign, err := AssignMetric(space, pts, centers, opts.Rule, candidates)
+	if err != nil {
+		return Result[P]{}, err
+	}
+	return finishResult(space, pts, centers, assign, surrogates, radius, effEps)
+}
+
+func finishResult[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int, surrogates []P, radius, effEps float64) (Result[P], error) {
+	ecost, err := EcostAssigned(space, pts, centers, assign)
+	if err != nil {
+		return Result[P]{}, err
+	}
+	un, err := EcostUnassigned(space, pts, centers)
+	if err != nil {
+		return Result[P]{}, err
+	}
+	return Result[P]{
+		Centers:         centers,
+		Assign:          assign,
+		Ecost:           ecost,
+		EcostUnassigned: un,
+		Surrogates:      surrogates,
+		CertainRadius:   radius,
+		EffectiveEps:    effEps,
+	}, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// SolveUnassignedLocalSearch optimizes the paper's UNASSIGNED objective
+//
+//	Ecost(C) = E[max_i min_j d(X_i, c_j)]
+//
+// over centers drawn from a candidate set, by single-swap local search on
+// the exact cost evaluator: start from the ED-surrogate pipeline's centers
+// snapped to their nearest candidates, then repeatedly apply the best
+// improving (center-out, candidate-in) swap until none improves by more
+// than a relative 1e-9 or maxIter rounds pass.
+//
+// The paper defines this version but provides no algorithm for it (it cites
+// the Huang–Li PTAS); this is the practical heuristic the exact O(N log N)
+// evaluator makes affordable: each candidate swap is one exact evaluation,
+// never a Monte-Carlo estimate. The result is a local optimum with respect
+// to single swaps; on brute-forceable instances the tests compare it
+// against the global optimum.
+func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, maxIter int) ([]P, float64, error) {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, 0, err
+	}
+	if len(candidates) == 0 {
+		return nil, 0, fmt.Errorf("core: SolveUnassignedLocalSearch needs candidates")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("core: k = %d", k)
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	// Multi-start: single-swap local optima can be poor from one seed, so
+	// descend from two structurally different ones and keep the better —
+	// (a) 1-center surrogates snapped to candidates, (b) farthest-first
+	// directly over the candidate set.
+	surr := uncertain.OneCentersDiscrete(space, pts, candidates)
+	seeds := [][]int{
+		greedySeed(space, surr, candidates, k),
+		farthestFirstSeed(space, candidates, k),
+	}
+	var bestCenters []P
+	bestCost := math.Inf(1)
+	for _, seed := range seeds {
+		centers, cost, err := swapDescent(space, pts, candidates, seed, maxIter)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cost < bestCost {
+			bestCenters, bestCost = centers, cost
+		}
+	}
+	return bestCenters, bestCost, nil
+}
+
+// swapDescent runs best-improvement single-swap local search on the exact
+// unassigned cost from the given seed.
+func swapDescent[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, seed []int, maxIter int) ([]P, float64, error) {
+	chosen := append([]int(nil), seed...)
+	sel := func(idx []int) []P {
+		out := make([]P, len(idx))
+		for i, c := range idx {
+			out[i] = candidates[c]
+		}
+		return out
+	}
+	cost, err := EcostUnassigned(space, pts, sel(chosen))
+	if err != nil {
+		return nil, 0, err
+	}
+	inSet := make(map[int]bool, len(chosen))
+	for _, c := range chosen {
+		inSet[c] = true
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for pos := 0; pos < len(chosen); pos++ {
+			old := chosen[pos]
+			bestC, bestCost := -1, cost
+			for c := range candidates {
+				if inSet[c] {
+					continue
+				}
+				chosen[pos] = c
+				newCost, err := EcostUnassigned(space, pts, sel(chosen))
+				if err != nil {
+					return nil, 0, err
+				}
+				if newCost < bestCost*(1-1e-9) {
+					bestC, bestCost = c, newCost
+				}
+			}
+			if bestC >= 0 {
+				chosen[pos] = bestC
+				delete(inSet, old)
+				inSet[bestC] = true
+				cost = bestCost
+				improved = true
+			} else {
+				chosen[pos] = old
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return sel(chosen), cost, nil
+}
+
+// farthestFirstSeed is Gonzalez over the candidate set itself.
+func farthestFirstSeed[P any](space metricspace.Space[P], candidates []P, k int) []int {
+	chosen := []int{0}
+	dist := make([]float64, len(candidates))
+	for i := range dist {
+		dist[i] = space.Dist(candidates[i], candidates[0])
+	}
+	for len(chosen) < k {
+		far, farD := -1, -1.0
+		for i, d := range dist {
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		if far < 0 || farD == 0 {
+			break
+		}
+		chosen = append(chosen, far)
+		for i := range dist {
+			if d := space.Dist(candidates[i], candidates[far]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return chosen
+}
+
+// greedySeed picks k candidate indices: each surrogate's nearest candidate,
+// de-duplicated, topped up farthest-first.
+func greedySeed[P any](space metricspace.Space[P], surr, candidates []P, k int) []int {
+	snap := func(p P) int {
+		best, bestD := 0, math.Inf(1)
+		for c, cand := range candidates {
+			if d := space.Dist(p, cand); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best
+	}
+	seen := map[int]bool{}
+	var chosen []int
+	for _, s := range surr {
+		if len(chosen) == k {
+			break
+		}
+		c := snap(s)
+		if !seen[c] {
+			seen[c] = true
+			chosen = append(chosen, c)
+		}
+	}
+	// Top up farthest-first over candidates.
+	for len(chosen) < k {
+		far, farD := -1, -1.0
+		for c := range candidates {
+			if seen[c] {
+				continue
+			}
+			d := math.Inf(1)
+			for _, s := range chosen {
+				if dd := space.Dist(candidates[c], candidates[s]); dd < d {
+					d = dd
+				}
+			}
+			if d > farD {
+				far, farD = c, d
+			}
+		}
+		if far < 0 {
+			break // fewer distinct candidates than k
+		}
+		seen[far] = true
+		chosen = append(chosen, far)
+	}
+	return chosen
+}

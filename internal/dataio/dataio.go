@@ -1,0 +1,152 @@
+// Package dataio serializes uncertain k-center instances to and from JSON,
+// for the command-line tools and examples. Two instance kinds exist:
+// "euclidean" (locations are coordinate vectors) and "finite" (locations are
+// vertex indices of an explicit distance matrix).
+package dataio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// KindEuclidean and KindFinite are the instance kinds.
+const (
+	KindEuclidean = "euclidean"
+	KindFinite    = "finite"
+)
+
+// euclideanPoint is the JSON shape of one Euclidean uncertain point.
+type euclideanPoint struct {
+	Locs  [][]float64 `json:"locs"`
+	Probs []float64   `json:"probs"`
+}
+
+// finitePoint is the JSON shape of one finite-space uncertain point.
+type finitePoint struct {
+	Locs  []int     `json:"locs"`
+	Probs []float64 `json:"probs"`
+}
+
+// document is the on-disk instance shape.
+type document struct {
+	Kind   string           `json:"kind"`
+	Dim    int              `json:"dim,omitempty"`
+	Points []euclideanPoint `json:"points,omitempty"`
+	FPts   []finitePoint    `json:"finite_points,omitempty"`
+	Metric [][]float64      `json:"metric,omitempty"`
+}
+
+// WriteEuclidean writes a Euclidean instance as indented JSON.
+func WriteEuclidean(w io.Writer, pts []uncertain.Point[geom.Vec]) error {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	doc := document{Kind: KindEuclidean, Dim: pts[0].Locs[0].Dim()}
+	for _, p := range pts {
+		ep := euclideanPoint{Probs: p.Probs}
+		for _, l := range p.Locs {
+			ep.Locs = append(ep.Locs, []float64(l))
+		}
+		doc.Points = append(doc.Points, ep)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadEuclidean parses and validates a Euclidean instance.
+func ReadEuclidean(r io.Reader) ([]uncertain.Point[geom.Vec], error) {
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	if doc.Kind != KindEuclidean {
+		return nil, fmt.Errorf("dataio: kind %q, want %q", doc.Kind, KindEuclidean)
+	}
+	if len(doc.Points) == 0 {
+		return nil, fmt.Errorf("dataio: no points")
+	}
+	pts := make([]uncertain.Point[geom.Vec], len(doc.Points))
+	dim := doc.Dim
+	for i, ep := range doc.Points {
+		locs := make([]geom.Vec, len(ep.Locs))
+		for j, l := range ep.Locs {
+			if dim == 0 && len(l) > 0 {
+				dim = len(l) // infer from the first location when unspecified
+			}
+			if dim > 0 && len(l) != dim {
+				return nil, fmt.Errorf("dataio: point %d location %d has dim %d, want %d", i, j, len(l), dim)
+			}
+			locs[j] = geom.Vec(l)
+			if !locs[j].IsFinite() {
+				return nil, fmt.Errorf("dataio: point %d location %d is not finite", i, j)
+			}
+		}
+		p, err := uncertain.New(locs, ep.Probs)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: point %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// WriteFinite writes a finite-space instance (matrix plus points).
+func WriteFinite(w io.Writer, space *metricspace.Finite, pts []uncertain.Point[int]) error {
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	doc := document{Kind: KindFinite}
+	n := space.N()
+	doc.Metric = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		doc.Metric[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			doc.Metric[i][j] = space.Dist(i, j)
+		}
+	}
+	for _, p := range pts {
+		doc.FPts = append(doc.FPts, finitePoint{Locs: p.Locs, Probs: p.Probs})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadFinite parses and validates a finite-space instance: the matrix must
+// be a valid metric matrix and every location a valid vertex index.
+func ReadFinite(r io.Reader) (*metricspace.Finite, []uncertain.Point[int], error) {
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	if doc.Kind != KindFinite {
+		return nil, nil, fmt.Errorf("dataio: kind %q, want %q", doc.Kind, KindFinite)
+	}
+	space, err := metricspace.NewFinite(doc.Metric)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	if len(doc.FPts) == 0 {
+		return nil, nil, fmt.Errorf("dataio: no points")
+	}
+	pts := make([]uncertain.Point[int], len(doc.FPts))
+	for i, fp := range doc.FPts {
+		for j, v := range fp.Locs {
+			if v < 0 || v >= space.N() {
+				return nil, nil, fmt.Errorf("dataio: point %d location %d = vertex %d outside space of %d vertices", i, j, v, space.N())
+			}
+		}
+		p, err := uncertain.New(fp.Locs, fp.Probs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataio: point %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	return space, pts, nil
+}

@@ -1,0 +1,117 @@
+package dataio
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the readers must never panic and must either return a valid
+// instance or an error, for arbitrary byte input. Run with
+// `go test -fuzz=FuzzReadEuclidean ./internal/dataio` to explore; the seed
+// corpus runs as part of `go test`.
+
+func FuzzReadEuclidean(f *testing.F) {
+	seeds := []string{
+		`{"kind":"euclidean","dim":2,"points":[{"locs":[[1,2],[3,4]],"probs":[0.5,0.5]}]}`,
+		`{"kind":"euclidean","dim":1,"points":[{"locs":[[0]],"probs":[1]}]}`,
+		`{"kind":"euclidean"}`,
+		`{"kind":"finite"}`,
+		`{`,
+		``,
+		`null`,
+		`{"kind":"euclidean","dim":1,"points":[{"locs":[[1e309]],"probs":[1]}]}`,
+		`{"kind":"euclidean","dim":1,"points":[{"locs":[[0]],"probs":[-1]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := ReadEuclidean(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// On success the instance must be fully valid.
+		if len(pts) == 0 {
+			t.Fatal("success with zero points")
+		}
+		for i, p := range pts {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("accepted invalid point %d: %v", i, err)
+			}
+			for j, l := range p.Locs {
+				if !l.IsFinite() {
+					t.Fatalf("accepted non-finite location %d of point %d", j, i)
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadFinite(f *testing.F) {
+	seeds := []string{
+		`{"kind":"finite","metric":[[0,1],[1,0]],"finite_points":[{"locs":[0,1],"probs":[0.5,0.5]}]}`,
+		`{"kind":"finite","metric":[[0]],"finite_points":[{"locs":[0],"probs":[1]}]}`,
+		`{"kind":"finite","metric":[[0,1],[2,0]],"finite_points":[{"locs":[0],"probs":[1]}]}`,
+		`{"kind":"finite","metric":[[0]],"finite_points":[{"locs":[5],"probs":[1]}]}`,
+		`{"kind":"finite"}`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		space, pts, err := ReadFinite(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(pts) == 0 {
+			t.Fatal("success with zero points")
+		}
+		for i, p := range pts {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("accepted invalid point %d: %v", i, err)
+			}
+			for _, v := range p.Locs {
+				if v < 0 || v >= space.N() {
+					t.Fatalf("accepted out-of-space vertex %d", v)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write∘read = id on instances built from fuzzed
+// numeric seeds.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(1.0, 2.0, 0.25)
+	f.Add(-5.5, 0.0, 0.9)
+	f.Fuzz(func(t *testing.T, x, y, p float64) {
+		if p <= 0 || p >= 1 || x != x || y != y || x-x != 0 || y-y != 0 {
+			t.Skip()
+		}
+		doc := `{"kind":"euclidean","dim":2,"points":[{"locs":[[` +
+			fmtFloat(x) + `,` + fmtFloat(y) + `],[0,0]],"probs":[` +
+			fmtFloat(p) + `,` + fmtFloat(1-p) + `]}]}`
+		pts, err := ReadEuclidean(strings.NewReader(doc))
+		if err != nil {
+			t.Skip() // e.g. probs fail the sum tolerance after formatting
+		}
+		var buf bytes.Buffer
+		if err := WriteEuclidean(&buf, pts); err != nil {
+			t.Fatalf("write-back of accepted instance failed: %v", err)
+		}
+		again, err := ReadEuclidean(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written instance failed: %v", err)
+		}
+		if len(again) != len(pts) || again[0].Z() != pts[0].Z() {
+			t.Fatal("round trip changed the shape")
+		}
+	})
+}
+
+func fmtFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// BBox is an axis-aligned bounding box [Min, Max] in R^d. A box with
+// Min[i] > Max[i] in some coordinate is empty.
+type BBox struct {
+	Min, Max Vec
+}
+
+// NewBBox returns the empty box of dimension d: every coordinate range is
+// [+Inf, -Inf], so that Extend works from a zero starting state.
+func NewBBox(d int) BBox {
+	b := BBox{Min: NewVec(d), Max: NewVec(d)}
+	for i := 0; i < d; i++ {
+		b.Min[i] = math.Inf(1)
+		b.Max[i] = math.Inf(-1)
+	}
+	return b
+}
+
+// BoundingBox returns the tight bounding box of pts. It panics if pts is
+// empty.
+func BoundingBox(pts []Vec) BBox {
+	if len(pts) == 0 {
+		panic("geom: BoundingBox of empty point set")
+	}
+	b := NewBBox(len(pts[0]))
+	for _, p := range pts {
+		b.Extend(p)
+	}
+	return b
+}
+
+// Dim returns the dimension of the box.
+func (b BBox) Dim() int { return len(b.Min) }
+
+// Empty reports whether the box contains no points.
+func (b BBox) Empty() bool {
+	for i := range b.Min {
+		if b.Min[i] > b.Max[i] {
+			return true
+		}
+	}
+	return len(b.Min) == 0
+}
+
+// Extend grows the box (in place, via the shared backing arrays) to include p.
+func (b *BBox) Extend(p Vec) {
+	if len(p) != len(b.Min) {
+		panic(fmt.Sprintf("geom: BBox.Extend dimension mismatch %d vs %d", len(p), len(b.Min)))
+	}
+	for i, x := range p {
+		if x < b.Min[i] {
+			b.Min[i] = x
+		}
+		if x > b.Max[i] {
+			b.Max[i] = x
+		}
+	}
+}
+
+// Contains reports whether p lies inside the closed box.
+func (b BBox) Contains(p Vec) bool {
+	if len(p) != len(b.Min) {
+		return false
+	}
+	for i, x := range p {
+		if x < b.Min[i] || x > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the box midpoint. It panics if the box is empty.
+func (b BBox) Center() Vec {
+	if b.Empty() {
+		panic("geom: Center of empty BBox")
+	}
+	return b.Min.Lerp(b.Max, 0.5)
+}
+
+// Diameter returns the Euclidean length of the box diagonal, 0 for empty
+// boxes.
+func (b BBox) Diameter() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return Dist(b.Min, b.Max)
+}
+
+// Expand returns a copy of the box grown by margin on every side.
+func (b BBox) Expand(margin float64) BBox {
+	out := BBox{Min: b.Min.Clone(), Max: b.Max.Clone()}
+	for i := range out.Min {
+		out.Min[i] -= margin
+		out.Max[i] += margin
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewBBoxIsEmpty(t *testing.T) {
+	b := NewBBox(2)
+	if !b.Empty() {
+		t.Fatal("fresh box is not empty")
+	}
+	if b.Diameter() != 0 {
+		t.Errorf("Diameter of empty box = %g", b.Diameter())
+	}
+}
+
+func TestExtendAndContains(t *testing.T) {
+	b := NewBBox(2)
+	b.Extend(Vec{0, 0})
+	b.Extend(Vec{2, 3})
+	if b.Empty() {
+		t.Fatal("extended box reports empty")
+	}
+	for _, p := range []Vec{{0, 0}, {2, 3}, {1, 1.5}} {
+		if !b.Contains(p) {
+			t.Errorf("box should contain %v", p)
+		}
+	}
+	for _, p := range []Vec{{-0.1, 0}, {2.1, 3}, {1, 4}} {
+		if b.Contains(p) {
+			t.Errorf("box should not contain %v", p)
+		}
+	}
+	if b.Contains(Vec{1}) {
+		t.Error("box contains vector of wrong dimension")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Vec{{1, 5}, {-2, 3}, {4, -1}}
+	b := BoundingBox(pts)
+	if !b.Min.Equal(Vec{-2, -1}, 0) || !b.Max.Equal(Vec{4, 5}, 0) {
+		t.Errorf("BoundingBox = [%v, %v]", b.Min, b.Max)
+	}
+	if got, want := b.Diameter(), math.Hypot(6, 6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Diameter = %g, want %g", got, want)
+	}
+	if !b.Center().Equal(Vec{1, 2}, 1e-12) {
+		t.Errorf("Center = %v", b.Center())
+	}
+}
+
+func TestBoundingBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BoundingBox(nil) did not panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestExpand(t *testing.T) {
+	b := BoundingBox([]Vec{{0, 0}, {1, 1}})
+	e := b.Expand(0.5)
+	if !e.Min.Equal(Vec{-0.5, -0.5}, 0) || !e.Max.Equal(Vec{1.5, 1.5}, 0) {
+		t.Errorf("Expand = [%v, %v]", e.Min, e.Max)
+	}
+	// Original untouched.
+	if !b.Min.Equal(Vec{0, 0}, 0) {
+		t.Error("Expand mutated the receiver")
+	}
+}
+
+func TestExtendDimensionMismatchPanics(t *testing.T) {
+	b := NewBBox(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend with wrong dimension did not panic")
+		}
+	}()
+	b.Extend(Vec{1})
+}
+
+func TestCenterOfEmptyPanics(t *testing.T) {
+	b := NewBBox(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Center of empty box did not panic")
+		}
+	}()
+	b.Center()
+}

@@ -1,0 +1,325 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestNewVec(t *testing.T) {
+	v := NewVec(3)
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", v.Dim())
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("coordinate %d = %g, want 0", i, x)
+		}
+	}
+}
+
+func TestNewVecPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVec(-1) did not panic")
+		}
+	}()
+	NewVec(-1)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := Vec{1, 2}
+	w := Vec{3, -4}
+	if got := v.Add(w); !got.Equal(Vec{4, -2}, tol) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); !got.Equal(Vec{-2, 6}, tol) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(-2); !got.Equal(Vec{-2, -4}, tol) {
+		t.Errorf("Scale = %v", got)
+	}
+	// Originals untouched.
+	if !v.Equal(Vec{1, 2}, 0) || !w.Equal(Vec{3, -4}, 0) {
+		t.Error("Add/Sub/Scale mutated their inputs")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	v := Vec{1, 1}
+	v.AddInPlace(Vec{2, 3})
+	if !v.Equal(Vec{3, 4}, tol) {
+		t.Errorf("AddInPlace = %v", v)
+	}
+	v.AxpyInPlace(2, Vec{1, 0})
+	if !v.Equal(Vec{5, 4}, tol) {
+		t.Errorf("AxpyInPlace = %v", v)
+	}
+	v.ScaleInPlace(0.5)
+	if !v.Equal(Vec{2.5, 2}, tol) {
+		t.Errorf("ScaleInPlace = %v", v)
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	v := Vec{3, 4}
+	if got := v.Dot(Vec{1, 2}); got != 11 {
+		t.Errorf("Dot = %g, want 11", got)
+	}
+	if got := v.Norm(); math.Abs(got-5) > tol {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	if got := v.Norm1(); got != 7 {
+		t.Errorf("Norm1 = %g, want 7", got)
+	}
+	if got := v.NormInf(); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+	neg := Vec{-3, -4}
+	if got := neg.Norm1(); got != 7 {
+		t.Errorf("Norm1 of negative = %g, want 7", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	v, w := Vec{0, 0}, Vec{3, 4}
+	if got := Dist(v, w); math.Abs(got-5) > tol {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+	if got := DistSq(v, w); math.Abs(got-25) > tol {
+		t.Errorf("DistSq = %g, want 25", got)
+	}
+	if got := Dist1(v, w); got != 7 {
+		t.Errorf("Dist1 = %g, want 7", got)
+	}
+	if got := DistInf(v, w); got != 4 {
+		t.Errorf("DistInf = %g, want 4", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { Vec{1}.Add(Vec{1, 2}) },
+		func() { Vec{1}.Sub(Vec{1, 2}) },
+		func() { Vec{1}.Dot(Vec{1, 2}) },
+		func() { Dist(Vec{1}, Vec{1, 2}) },
+		func() { Dist1(Vec{1}, Vec{1, 2}) },
+		func() { DistInf(Vec{1}, Vec{1, 2}) },
+		func() { Vec{1}.Lerp(Vec{1, 2}, 0.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic on dimension mismatch", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLerp(t *testing.T) {
+	v, w := Vec{0, 0}, Vec{10, 20}
+	if got := v.Lerp(w, 0); !got.Equal(v, tol) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := v.Lerp(w, 1); !got.Equal(w, tol) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := v.Lerp(w, 0.25); !got.Equal(Vec{2.5, 5}, tol) {
+		t.Errorf("Lerp(0.25) = %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !(Vec{1, 2}).Equal(Vec{1 + 1e-13, 2}, 1e-12) {
+		t.Error("Equal rejected within tolerance")
+	}
+	if (Vec{1, 2}).Equal(Vec{1.1, 2}, 1e-12) {
+		t.Error("Equal accepted outside tolerance")
+	}
+	if (Vec{1, 2}).Equal(Vec{1, 2, 3}, 1) {
+		t.Error("Equal accepted dimension mismatch")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vec{1, 2}).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec{math.NaN()}).IsFinite() {
+		t.Error("NaN reported finite")
+	}
+	if (Vec{math.Inf(1)}).IsFinite() {
+		t.Error("+Inf reported finite")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Vec{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	pts := []Vec{{0, 0}, {2, 4}, {4, 2}}
+	if got := Mean(pts); !got.Equal(Vec{2, 2}, tol) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean(nil) did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestWeightedMean(t *testing.T) {
+	pts := []Vec{{0, 0}, {4, 0}}
+	got := WeightedMean(pts, []float64{1, 3})
+	if !got.Equal(Vec{3, 0}, tol) {
+		t.Errorf("WeightedMean = %v, want (3, 0)", got)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { WeightedMean(nil, nil) })
+	mustPanic("length mismatch", func() { WeightedMean([]Vec{{1}}, []float64{1, 2}) })
+	mustPanic("zero weight", func() { WeightedMean([]Vec{{1}}, []float64{0}) })
+}
+
+// randomVecPair draws two vectors of the same random dimension for
+// property-based tests.
+func randomVecPair(r *rand.Rand) (Vec, Vec) {
+	d := 1 + r.Intn(6)
+	v, w := NewVec(d), NewVec(d)
+	for i := 0; i < d; i++ {
+		v[i] = r.NormFloat64() * 10
+		w[i] = r.NormFloat64() * 10
+	}
+	return v, w
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		u, v := randomVecPair(r)
+		w := NewVec(u.Dim())
+		for i := range w {
+			w[i] = r.NormFloat64() * 10
+		}
+		for name, d := range map[string]func(Vec, Vec) float64{
+			"L2": Dist, "L1": Dist1, "Linf": DistInf,
+		} {
+			if d(u, w) > d(u, v)+d(v, w)+1e-9 {
+				t.Fatalf("%s triangle inequality violated: d(u,w)=%g > %g", name, d(u, w), d(u, v)+d(v, w))
+			}
+			if math.Abs(d(u, v)-d(v, u)) > 1e-12 {
+				t.Fatalf("%s not symmetric", name)
+			}
+			if d(u, u) != 0 {
+				t.Fatalf("%s d(u,u) != 0", name)
+			}
+		}
+	}
+}
+
+func TestPropertyNormOrdering(t *testing.T) {
+	// ‖v‖∞ ≤ ‖v‖₂ ≤ ‖v‖₁ for every vector.
+	f := func(a, b, c float64) bool {
+		v := Vec{a, b, c}
+		// Skip non-finite inputs and magnitudes where x² overflows.
+		if !v.IsFinite() || v.NormInf() > 1e150 {
+			return true
+		}
+		return v.NormInf() <= v.Norm()+1e-9 && v.Norm() <= v.Norm1()*(1+1e-12)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCauchySchwarz(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		v, w := Vec{a, b}, Vec{c, d}
+		if !v.IsFinite() || !w.IsFinite() {
+			return true
+		}
+		lhs := math.Abs(v.Dot(w))
+		rhs := v.Norm() * w.Norm()
+		if math.IsInf(rhs, 0) || math.IsNaN(rhs) {
+			return true
+		}
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMeanMinimizesSquaredDist(t *testing.T) {
+	// The centroid minimizes the sum of squared distances; any perturbation
+	// must not decrease it.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(8)
+		d := 1 + r.Intn(4)
+		pts := make([]Vec, n)
+		for i := range pts {
+			pts[i] = NewVec(d)
+			for j := 0; j < d; j++ {
+				pts[i][j] = r.NormFloat64()
+			}
+		}
+		m := Mean(pts)
+		sum := func(c Vec) float64 {
+			var s float64
+			for _, p := range pts {
+				s += DistSq(p, c)
+			}
+			return s
+		}
+		base := sum(m)
+		pert := m.Clone()
+		pert[r.Intn(d)] += 0.1
+		if sum(pert) < base-1e-9 {
+			t.Fatalf("perturbed centroid beat centroid: %g < %g", sum(pert), base)
+		}
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	v, w := make(Vec, 8), make(Vec, 8)
+	for i := range v {
+		v[i] = float64(i)
+		w[i] = float64(i * i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dist(v, w)
+	}
+}

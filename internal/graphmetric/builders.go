@@ -1,0 +1,152 @@
+package graphmetric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// GridGraph returns the rows×cols grid graph with unit edge weights. Vertex
+// (r, c) has index r*cols + c. The shortest-path metric of a grid is the L1
+// metric on the lattice — a canonical non-Euclidean test metric.
+func GridGraph(rows, cols int) (*Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("graphmetric: invalid grid %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				if err := g.AddEdge(v, v+1, 1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(v, v+cols, 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomGeometric places n vertices uniformly in the unit square and connects
+// pairs within Euclidean distance radius, weighting each edge by its length —
+// a standard road-network-like model. If the sampled graph is disconnected it
+// is augmented with a chain of nearest-neighbour edges between components so
+// the shortest-path metric is well defined (this keeps the metric "roady"
+// rather than resampling until lucky).
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*Graph, []geom.Vec, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("graphmetric: invalid vertex count %d", n)
+	}
+	if !(radius > 0) {
+		return nil, nil, fmt.Errorf("graphmetric: invalid radius %g", radius)
+	}
+	pos := make([]geom.Vec, n)
+	for i := range pos {
+		pos[i] = geom.Vec{rng.Float64(), rng.Float64()}
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := geom.Dist(pos[i], pos[j]); d <= radius && d > 0 {
+				if err := g.AddEdge(i, j, d); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	connectComponents(g, pos)
+	return g, pos, nil
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (random-parent attachment) with edge weights drawn uniformly from
+// [minW, maxW]. Trees are the classical k-center substrate (the paper's
+// related work cites p-centers on trees), and their metric is maximally
+// far from Euclidean.
+func RandomTree(n int, minW, maxW float64, rng *rand.Rand) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graphmetric: invalid vertex count %d", n)
+	}
+	if !(minW > 0) || maxW < minW {
+		return nil, fmt.Errorf("graphmetric: invalid weight range [%g, %g]", minW, maxW)
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		parent := rng.Intn(v)
+		w := minW + (maxW-minW)*rng.Float64()
+		if err := g.AddEdge(parent, v, w); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// connectComponents links disconnected components of g by repeatedly adding
+// the shortest Euclidean edge between the component of vertex 0 and the rest.
+func connectComponents(g *Graph, pos []geom.Vec) {
+	for {
+		comp := componentOf(g, 0)
+		if allTrue(comp) {
+			return
+		}
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < g.n; i++ {
+			if !comp[i] {
+				continue
+			}
+			for j := 0; j < g.n; j++ {
+				if comp[j] {
+					continue
+				}
+				if d := geom.Dist(pos[i], pos[j]); d < best && d > 0 {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			// All remaining vertices coincide geometrically with connected
+			// ones; link them with a tiny positive weight.
+			for j := 0; j < g.n; j++ {
+				if !comp[j] {
+					_ = g.AddEdge(0, j, 1e-9)
+					break
+				}
+			}
+			continue
+		}
+		_ = g.AddEdge(bi, bj, best)
+	}
+}
+
+func componentOf(g *Graph, src int) []bool {
+	seen := make([]bool, g.n)
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+func allTrue(b []bool) bool {
+	for _, x := range b {
+		if !x {
+			return false
+		}
+	}
+	return true
+}

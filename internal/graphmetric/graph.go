@@ -1,0 +1,154 @@
+// Package graphmetric builds finite metric spaces from weighted undirected
+// graphs via shortest-path distances. It is the substrate for the paper's
+// "general metric space" experiments (Theorems 2.6 and 2.7): road-network-like
+// random geometric graphs and grid graphs whose shortest-path metric is
+// genuinely non-Euclidean.
+package graphmetric
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/metricspace"
+)
+
+// Graph is a weighted undirected graph over vertices {0, …, n−1}.
+type Graph struct {
+	n   int
+	adj [][]edge
+}
+
+type edge struct {
+	to int
+	w  float64
+}
+
+// New returns an empty graph on n vertices. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graphmetric: negative vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// AddEdge inserts an undirected edge {u, v} of weight w. It returns an error
+// for out-of-range endpoints, self-loops, or non-positive/non-finite weights.
+// Parallel edges are allowed; shortest paths simply use the cheapest.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graphmetric: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graphmetric: self-loop at %d", u)
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("graphmetric: invalid edge weight %g", w)
+	}
+	g.adj[u] = append(g.adj[u], edge{v, w})
+	g.adj[v] = append(g.adj[v], edge{u, w})
+	return nil
+}
+
+// ShortestFrom runs Dijkstra from src and returns the distance to every
+// vertex (+Inf for unreachable vertices).
+func (g *Graph) ShortestFrom(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.v] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, distItem{e.to, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (vacuously true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Metric computes the all-pairs shortest-path metric (one Dijkstra per
+// vertex, O(n·m·log n)) and returns it as a finite metric space. It fails if
+// the graph is disconnected, since +Inf distances are not a metric.
+func (g *Graph) Metric() (*metricspace.Finite, error) {
+	if !g.Connected() {
+		return nil, fmt.Errorf("graphmetric: graph with %d vertices is not connected", g.n)
+	}
+	d := make([][]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		d[i] = g.ShortestFrom(i)
+	}
+	// Shortest-path distances from per-source Dijkstra runs are exactly
+	// symmetric for undirected graphs with the same float operations, but we
+	// symmetrize defensively so NewFinite's validation never trips on
+	// floating-point summation-order differences.
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			m := math.Min(d[i][j], d[j][i])
+			d[i][j] = m
+			d[j][i] = m
+		}
+	}
+	return metricspace.NewFinite(d)
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,259 @@
+package graphmetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustAdd(t *testing.T, g *Graph, u, v int, w float64) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	cases := []struct {
+		u, v int
+		w    float64
+	}{
+		{-1, 0, 1}, {0, 3, 1}, {0, 0, 1}, {0, 1, 0}, {0, 1, -2},
+		{0, 1, math.Inf(1)}, {0, 1, math.NaN()},
+	}
+	for _, c := range cases {
+		if err := g.AddEdge(c.u, c.v, c.w); err == nil {
+			t.Errorf("AddEdge(%d,%d,%g) accepted", c.u, c.v, c.w)
+		}
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d after rejected inserts", g.NumEdges())
+	}
+}
+
+func TestShortestFrom(t *testing.T) {
+	// 0 -1- 1 -1- 2, plus a direct heavy edge 0-2.
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 0, 2, 5)
+	d := g.ShortestFrom(0)
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 {
+		t.Errorf("distances = %v", d[:3])
+	}
+	if !math.IsInf(d[3], 1) {
+		t.Errorf("unreachable vertex distance = %g, want +Inf", d[3])
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(3)
+	if g.Connected() {
+		t.Error("edgeless 3-vertex graph reported connected")
+	}
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs should be connected")
+	}
+}
+
+func TestMetricRequiresConnectivity(t *testing.T) {
+	g := New(2)
+	if _, err := g.Metric(); err == nil {
+		t.Fatal("Metric on disconnected graph succeeded")
+	}
+}
+
+func TestMetricOfPath(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 1, 2, 3)
+	m, err := g.Metric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist(0, 2) != 5 || m.Dist(2, 0) != 5 {
+		t.Errorf("Dist(0,2) = %g, want 5", m.Dist(0, 2))
+	}
+	if err := m.Check(1e-9); err != nil {
+		t.Errorf("shortest-path metric violates axioms: %v", err)
+	}
+}
+
+func TestGridGraphMetricIsL1(t *testing.T) {
+	g, err := GridGraph(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	m, err := g.Metric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid shortest path = Manhattan distance between lattice coordinates.
+	for v := 0; v < 12; v++ {
+		for w := 0; w < 12; w++ {
+			vr, vc := v/4, v%4
+			wr, wc := w/4, w%4
+			want := math.Abs(float64(vr-wr)) + math.Abs(float64(vc-wc))
+			if got := m.Dist(v, w); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("Dist(%d,%d) = %g, want %g", v, w, got, want)
+			}
+		}
+	}
+}
+
+func TestGridGraphRejectsBadShape(t *testing.T) {
+	if _, err := GridGraph(0, 5); err == nil {
+		t.Error("GridGraph(0,5) accepted")
+	}
+	if _, err := GridGraph(3, -1); err == nil {
+		t.Error("GridGraph(3,-1) accepted")
+	}
+}
+
+func TestRandomGeometricConnectedMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		// Small radius forces the component-stitching path.
+		g, pos, err := RandomGeometric(30, 0.12, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pos) != 30 {
+			t.Fatalf("positions = %d", len(pos))
+		}
+		if !g.Connected() {
+			t.Fatal("RandomGeometric returned a disconnected graph")
+		}
+		m, err := g.Metric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Check(1e-9); err != nil {
+			t.Fatalf("metric axioms: %v", err)
+		}
+	}
+}
+
+func TestRandomGeometricValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := RandomGeometric(0, 0.5, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := RandomGeometric(5, 0, rng); err == nil {
+		t.Error("radius=0 accepted")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := RandomTree(20, 0.5, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 19 {
+		t.Errorf("tree on 20 vertices has %d edges", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("tree disconnected")
+	}
+	m, err := g.Metric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(1e-9); err != nil {
+		t.Errorf("tree metric axioms: %v", err)
+	}
+}
+
+func TestRandomTreeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomTree(0, 1, 2, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RandomTree(5, 0, 2, rng); err == nil {
+		t.Error("minW=0 accepted")
+	}
+	if _, err := RandomTree(5, 2, 1, rng); err == nil {
+		t.Error("maxW<minW accepted")
+	}
+}
+
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(10)
+		g := New(n)
+		// Random connected graph: random tree plus extra edges.
+		for v := 1; v < n; v++ {
+			mustAdd(t, g, rng.Intn(v), v, 0.1+rng.Float64())
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				mustAdd(t, g, u, v, 0.1+rng.Float64())
+			}
+		}
+		m, err := g.Metric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: Floyd–Warshall over the same edge set.
+		fw := make([][]float64, n)
+		for i := range fw {
+			fw[i] = make([]float64, n)
+			for j := range fw[i] {
+				if i != j {
+					fw[i][j] = math.Inf(1)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, e := range g.adj[u] {
+				if e.w < fw[u][e.to] {
+					fw[u][e.to] = e.w
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if fw[i][k]+fw[k][j] < fw[i][j] {
+						fw[i][j] = fw[i][k] + fw[k][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(m.Dist(i, j)-fw[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: Dijkstra %g vs Floyd–Warshall %g at (%d,%d)",
+						trial, m.Dist(i, j), fw[i][j], i, j)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMetric100(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g, _, err := RandomGeometric(100, 0.2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Metric(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

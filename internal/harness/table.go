@@ -1,0 +1,186 @@
+// Package harness runs the reproduction experiments (DESIGN.md §2) and
+// renders their results as aligned text tables and CSV. Each experiment
+// regenerates one artifact of the paper's evaluation — a Table 1 row's
+// approximation factor validated empirically, a runtime claim, or an
+// ablation — and returns a Report that cmd/experiments prints.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row. Cells beyond the header width are kept; short rows are
+// padded at render time.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with %v,
+// floats with %.4g.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	width := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colw := make([]int, width)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > colw[i] {
+				colw[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	writeRow := func(r []string) {
+		var sb strings.Builder
+		for i := 0; i < width; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", colw[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, cw := range colw {
+			total += cw + 2
+		}
+		fmt.Fprintln(w, strings.Repeat("-", total-2))
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+// RenderCSV writes the table (header plus rows) as CSV.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID          string
+	Description string
+	Tables      []*Table
+	Notes       []string
+	// Pass reports whether every checked invariant (e.g. measured ratio ≤
+	// proven bound) held.
+	Pass bool
+}
+
+// Render writes the whole report as text.
+func (r *Report) Render(w io.Writer) {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "== %s: %s [%s]\n", r.ID, r.Description, status)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Render(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Stats aggregates a stream of float64 observations.
+type Stats struct {
+	N         int
+	Min, Max  float64
+	Sum, SumS float64
+}
+
+// NewStats returns an empty aggregator.
+func NewStats() *Stats {
+	return &Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add records one observation.
+func (s *Stats) Add(x float64) {
+	s.N++
+	s.Sum += x
+	s.SumS += x * x
+	if x < s.Min {
+		s.Min = x
+	}
+	if x > s.Max {
+		s.Max = x
+	}
+}
+
+// Mean returns the sample mean (0 for empty).
+func (s *Stats) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Std returns the population standard deviation (0 for fewer than 2 samples).
+func (s *Stats) Std() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.SumS/float64(s.N) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,88 @@
+package kcenter
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metricspace"
+)
+
+// CoresetResult is the output of Coreset.
+type CoresetResult struct {
+	// Indices of the selected points in the input order.
+	Indices []int
+	// Radius is the covering radius of the coreset over the full set:
+	// every input point is within Radius of some coreset point.
+	Radius float64
+	// KRadius is the Gonzalez k-center radius of the full set (the scale
+	// the guarantee is relative to).
+	KRadius float64
+}
+
+// Coreset computes an additive-error k-center coreset by extended Gonzalez:
+// keep adding farthest points until the covering radius drops to
+// eps·r_k (r_k = the Gonzalez k-center radius, itself ≤ 2·OPT_k), or until
+// maxSize points have been selected. Clustering the coreset and assigning
+// every input point to its nearest coreset point inflates any k-center
+// solution's radius by at most Radius ≤ eps·r_k ≤ 2·eps·OPT_k — the
+// standard additive coreset guarantee, checked in tests.
+//
+// Use it to shrink n before the quadratic-or-worse solvers: the surrogate
+// pipelines stay within their factor at (1+O(eps)) slack.
+func Coreset[P any](space metricspace.Space[P], pts []P, k int, eps float64, maxSize int) (CoresetResult, error) {
+	n := len(pts)
+	if n == 0 {
+		return CoresetResult{}, fmt.Errorf("kcenter: Coreset of empty point set")
+	}
+	if k <= 0 {
+		return CoresetResult{}, fmt.Errorf("kcenter: Coreset with k = %d", k)
+	}
+	if !(eps > 0) {
+		return CoresetResult{}, fmt.Errorf("kcenter: Coreset with eps = %g", eps)
+	}
+	if maxSize <= 0 {
+		maxSize = n
+	}
+	if maxSize > n {
+		maxSize = n
+	}
+	if maxSize < k {
+		maxSize = k
+	}
+
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	indices := make([]int, 0, maxSize)
+	cur := 0
+	var kRadius float64
+	radius := math.Inf(1)
+	for len(indices) < maxSize {
+		indices = append(indices, cur)
+		far, farD := cur, 0.0
+		for i := 0; i < n; i++ {
+			if d := space.Dist(pts[i], pts[cur]); d < dist[i] {
+				dist[i] = d
+			}
+			if dist[i] > farD {
+				far, farD = i, dist[i]
+			}
+		}
+		radius = farD
+		cur = far
+		if len(indices) == k {
+			kRadius = radius
+		}
+		if len(indices) >= k && radius <= eps*kRadius {
+			break
+		}
+		if radius == 0 {
+			break // all remaining points coincide with selected ones
+		}
+	}
+	if len(indices) < k && kRadius == 0 {
+		kRadius = radius
+	}
+	return CoresetResult{Indices: indices, Radius: radius, KRadius: kRadius}, nil
+}

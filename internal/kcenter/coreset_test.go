@@ -1,0 +1,120 @@
+package kcenter
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCoresetValidation(t *testing.T) {
+	pts := []geom.Vec{{0}}
+	if _, err := Coreset[geom.Vec](euclid, nil, 1, 0.5, 0); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Coreset[geom.Vec](euclid, pts, 0, 0.5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Coreset[geom.Vec](euclid, pts, 1, 0, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestCoresetCoversWithinGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		k := 1 + rng.Intn(4)
+		eps := 0.1 + rng.Float64()*0.4
+		pts := randomCloud(rng, n, 2)
+		cs, err := Coreset[geom.Vec](euclid, pts, k, eps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs.Indices) < 1 || len(cs.Indices) > n {
+			t.Fatalf("coreset size %d", len(cs.Indices))
+		}
+		// Guarantee: covering radius ≤ eps·kRadius (unless capped by n).
+		if len(cs.Indices) < n && cs.Radius > eps*cs.KRadius+1e-9 {
+			t.Fatalf("trial %d: radius %g > eps·kRadius %g", trial, cs.Radius, eps*cs.KRadius)
+		}
+		// Every point within Radius of the coreset.
+		sel := Select(pts, cs.Indices)
+		if got := Radius[geom.Vec](euclid, pts, sel); got > cs.Radius+1e-9 {
+			t.Fatalf("trial %d: actual covering radius %g > reported %g", trial, got, cs.Radius)
+		}
+	}
+}
+
+// TestCoresetPreservesKCenterSolution: solving k-center on the coreset and
+// measuring on the full set loses at most the coreset radius.
+func TestCoresetPreservesKCenterSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 200
+		k := 2 + rng.Intn(3)
+		eps := 0.2
+		pts := randomCloud(rng, n, 2)
+		cs, err := Coreset[geom.Vec](euclid, pts, k, eps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := Select(pts, cs.Indices)
+		idx, subR, err := Gonzalez[geom.Vec](euclid, sub, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers := Select(sub, idx)
+		fullR := Radius[geom.Vec](euclid, pts, centers)
+		if fullR > subR+cs.Radius+1e-9 {
+			t.Fatalf("trial %d: full radius %g > coreset radius %g + slack %g",
+				trial, fullR, subR, cs.Radius)
+		}
+		// And the whole pipeline stays a constant-factor approximation:
+		// fullR ≤ 2·OPT + eps·r_k ≤ (2 + 2·eps)·... — compare against
+		// direct Gonzalez on the full set as a proxy for OPT scale.
+		_, directR, err := Gonzalez[geom.Vec](euclid, pts, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if directR > 0 && fullR > 4*directR {
+			t.Fatalf("trial %d: coreset pipeline radius %g vs direct %g", trial, fullR, directR)
+		}
+	}
+}
+
+func TestCoresetDegenerate(t *testing.T) {
+	// All points identical: the coreset is a single point with radius 0.
+	pts := []geom.Vec{{1, 1}, {1, 1}, {1, 1}}
+	cs, err := Coreset[geom.Vec](euclid, pts, 2, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Radius != 0 {
+		t.Errorf("radius = %g, want 0", cs.Radius)
+	}
+}
+
+func TestCoresetMaxSizeCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomCloud(rng, 500, 2)
+	cs, err := Coreset[geom.Vec](euclid, pts, 3, 0.01, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Indices) > 20 {
+		t.Errorf("coreset size %d exceeds cap 20", len(cs.Indices))
+	}
+}
+
+func BenchmarkCoreset(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomCloud(rng, 20000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Coreset[geom.Vec](euclid, pts, 8, 0.2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

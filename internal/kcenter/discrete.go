@@ -1,0 +1,154 @@
+package kcenter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metricspace"
+)
+
+// DiscreteBnB solves the discrete k-center problem exactly: centers are
+// restricted to cands, and the minimum covering radius over pts is found by
+// binary search over the point-candidate distances with a branch-and-bound
+// set-cover feasibility check (branching on the point with the fewest live
+// coverers). It returns the chosen candidate indices and the optimal radius.
+//
+// In a finite metric space with cands = all space points this is the true
+// optimum; in Euclidean space it is the optimum over the candidate grid.
+// maxNodes bounds the search explicitly (the problem is NP-hard); the
+// function returns an error when exceeded.
+func DiscreteBnB[P any](space metricspace.Space[P], pts, cands []P, k, maxNodes int) ([]int, float64, error) {
+	if len(pts) == 0 {
+		return nil, 0, fmt.Errorf("kcenter: DiscreteBnB on empty point set")
+	}
+	if len(cands) == 0 {
+		return nil, 0, fmt.Errorf("kcenter: DiscreteBnB with no candidates")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("kcenter: DiscreteBnB with k = %d", k)
+	}
+	if maxNodes <= 0 {
+		maxNodes = 5_000_000
+	}
+	n, m := len(pts), len(cands)
+	d := make([][]float64, n)
+	distSet := make([]float64, 0, n*m)
+	for i, p := range pts {
+		d[i] = make([]float64, m)
+		for j, c := range cands {
+			d[i][j] = space.Dist(p, c)
+			distSet = append(distSet, d[i][j])
+		}
+	}
+	sort.Float64s(distSet)
+	distSet = dedupFloats(distSet)
+
+	lo, hi := 0, len(distSet)-1
+	var bestCover []int
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cover, ok, err := coverSearch(d, k, distSet[mid], maxNodes)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			hi = mid
+			bestCover = cover
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestCover == nil {
+		cover, ok, err := coverSearch(d, k, distSet[lo], maxNodes)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, 0, fmt.Errorf("kcenter: internal error, max radius infeasible")
+		}
+		bestCover = cover
+	}
+	// Exact radius of the chosen cover.
+	r := 0.0
+	for i := 0; i < n; i++ {
+		pd := math.Inf(1)
+		for _, c := range bestCover {
+			if d[i][c] < pd {
+				pd = d[i][c]
+			}
+		}
+		if pd > r {
+			r = pd
+		}
+	}
+	return bestCover, r, nil
+}
+
+// coverSearch decides whether k candidate balls of radius t cover all points,
+// returning a witness candidate index set. Branch and bound: always branch on
+// the uncovered point with the fewest coverers.
+func coverSearch(d [][]float64, k int, t float64, maxNodes int) ([]int, bool, error) {
+	n := len(d)
+	covered := make([]int, n) // coverage count per point
+	chosen := make([]int, 0, k)
+	nodes := 0
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		// Find the uncovered point with the fewest coverers.
+		bestPt, bestCnt := -1, math.MaxInt
+		for i := 0; i < n; i++ {
+			if covered[i] > 0 {
+				continue
+			}
+			cnt := 0
+			for j := range d[i] {
+				if d[i][j] <= t {
+					cnt++
+				}
+			}
+			if cnt < bestCnt {
+				bestPt, bestCnt = i, cnt
+			}
+		}
+		if bestPt < 0 {
+			return true // everything covered
+		}
+		if remaining == 0 || bestCnt == 0 {
+			return false
+		}
+		for j := range d[bestPt] {
+			if d[bestPt][j] > t {
+				continue
+			}
+			chosen = append(chosen, j)
+			for i := 0; i < n; i++ {
+				if d[i][j] <= t {
+					covered[i]++
+				}
+			}
+			if rec(remaining - 1) {
+				return true
+			}
+			for i := 0; i < n; i++ {
+				if d[i][j] <= t {
+					covered[i]--
+				}
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	ok := rec(k)
+	if nodes > maxNodes {
+		return nil, false, fmt.Errorf("kcenter: cover search exceeded %d nodes", maxNodes)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]int(nil), chosen...), true, nil
+}

@@ -1,0 +1,74 @@
+package kcenter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+)
+
+func TestDiscreteBnBValidation(t *testing.T) {
+	pts := []geom.Vec{{0}}
+	if _, _, err := DiscreteBnB[geom.Vec](euclid, nil, pts, 1, 0); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, _, err := DiscreteBnB[geom.Vec](euclid, pts, nil, 1, 0); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, _, err := DiscreteBnB[geom.Vec](euclid, pts, pts, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestDiscreteBnBMatchesExactDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		pts := randomCloud(rng, n, 2)
+		_, bnbR, err := DiscreteBnB[geom.Vec](euclid, pts, pts, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, exactR, err := ExactDiscrete[geom.Vec](euclid, pts, pts, k, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bnbR-exactR) > 1e-9*(1+exactR) {
+			t.Fatalf("trial %d: BnB %g vs subset enumeration %g", trial, bnbR, exactR)
+		}
+	}
+}
+
+func TestDiscreteBnBOnFiniteMetric(t *testing.T) {
+	f, err := metricspace.NewFinite([][]float64{
+		{0, 1, 8, 9},
+		{1, 0, 8, 9},
+		{8, 8, 0, 1},
+		{9, 9, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, r, err := DiscreteBnB[int](f, f.Points(), f.Points(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("radius = %g, want 1", r)
+	}
+	if len(idx) != 2 {
+		t.Errorf("centers = %v", idx)
+	}
+}
+
+func TestDiscreteBnBNodeBudget(t *testing.T) {
+	// A tiny budget must surface as an error, not a wrong answer.
+	rng := rand.New(rand.NewSource(32))
+	pts := randomCloud(rng, 40, 2)
+	if _, _, err := DiscreteBnB[geom.Vec](euclid, pts, pts, 5, 3); err == nil {
+		t.Skip("instance solved within 3 nodes — regenerate")
+	}
+}

@@ -1,0 +1,167 @@
+package kcenter
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+)
+
+// EpsOptions tunes the Euclidean (1+ε)-approximation.
+type EpsOptions struct {
+	// MaxCandidates caps the grid candidate count (default 20000). If the
+	// grid would exceed it the spacing is coarsened, weakening the guarantee;
+	// the returned Certificate reports the effective epsilon.
+	MaxCandidates int
+	// MaxNodes caps the branch-and-bound nodes per feasibility test
+	// (default 5e6); exceeding it aborts with an error.
+	MaxNodes int
+}
+
+func (o EpsOptions) withDefaults() EpsOptions {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 20000
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 5_000_000
+	}
+	return o
+}
+
+// EpsResult reports the output of EpsApprox.
+type EpsResult struct {
+	Centers []geom.Vec
+	Radius  float64 // exact covering radius of Centers
+	// EffectiveEps is the epsilon actually certified: the requested value,
+	// or a larger one if the candidate cap forced a coarser grid.
+	EffectiveEps float64
+	// Candidates is the size of the grid candidate set that was searched.
+	Candidates int
+}
+
+// EpsApprox computes a (1+ε)-approximate Euclidean k-center for constant k
+// and dimension via the standard grid-candidate scheme:
+//
+//  1. run Gonzalez to get a radius r with OPT ≤ r ≤ 2·OPT;
+//  2. lay a grid of spacing s = ε·r/√d over the balls of radius 2r around
+//     the Gonzalez centers (every optimal center lies in one of them, and
+//     snapping an optimal center to the grid costs ≤ s·√d/2 ≤ ε·OPT);
+//  3. solve the discrete k-center over the grid candidates exactly, by
+//     binary search on the radius with a branch-and-bound set-cover check
+//     (branching on the point with the fewest live coverers).
+//
+// The scheme is exponential in k in the worst case; MaxNodes bounds the
+// work explicitly. Intended for the small instances where the experiments
+// also brute-force the optimum.
+func EpsApprox(pts []geom.Vec, k int, eps float64, opts EpsOptions) (EpsResult, error) {
+	opts = opts.withDefaults()
+	if len(pts) == 0 {
+		return EpsResult{}, fmt.Errorf("kcenter: EpsApprox on empty point set")
+	}
+	if k <= 0 {
+		return EpsResult{}, fmt.Errorf("kcenter: EpsApprox with k = %d", k)
+	}
+	if !(eps > 0) {
+		return EpsResult{}, fmt.Errorf("kcenter: EpsApprox with eps = %g", eps)
+	}
+	dim := pts[0].Dim()
+	space := metricspace.Euclidean{}
+
+	gIdx, r, err := Gonzalez[geom.Vec](space, pts, k, 0)
+	if err != nil {
+		return EpsResult{}, err
+	}
+	gCenters := Select(pts, gIdx)
+	if r == 0 || k >= len(pts) {
+		// Gonzalez is already optimal (all points coincide with centers).
+		return EpsResult{Centers: gCenters, Radius: r, EffectiveEps: eps, Candidates: 0}, nil
+	}
+
+	cands, effEps := gridCandidates(gCenters, r, dim, eps, opts.MaxCandidates)
+	coverIdx, radius, err := DiscreteBnB[geom.Vec](space, pts, cands, k, opts.MaxNodes)
+	if err != nil {
+		return EpsResult{}, err
+	}
+	centers := make([]geom.Vec, len(coverIdx))
+	for i, c := range coverIdx {
+		centers[i] = cands[c]
+	}
+	// The grid search is a (1+ε)-approximation but Gonzalez may still win on
+	// a particular instance (it is not restricted to the grid); keep the
+	// better of the two.
+	if r < radius {
+		centers, radius = gCenters, r
+	}
+	return EpsResult{Centers: centers, Radius: radius, EffectiveEps: effEps, Candidates: len(cands)}, nil
+}
+
+// gridCandidates builds grid points of spacing ε·r/√d covering the radius-2r
+// balls around the seeds, coarsening the spacing as needed to respect
+// maxCands. It returns the candidates and the epsilon actually realized.
+func gridCandidates(seeds []geom.Vec, r float64, dim int, eps float64, maxCands int) ([]geom.Vec, float64) {
+	effEps := eps
+	for {
+		s := effEps * r / math.Sqrt(float64(dim))
+		perAxis := int(math.Floor(4*r/s)) + 2
+		if total := len(seeds) * pow(perAxis, dim); total <= maxCands {
+			break
+		}
+		effEps *= 1.3
+		if effEps > 64 {
+			break // degenerate; the grid collapses to the seeds
+		}
+	}
+	s := effEps * r / math.Sqrt(float64(dim))
+	seen := make(map[string]struct{})
+	var out []geom.Vec
+	for _, c := range seeds {
+		lo := make([]int, dim)
+		hi := make([]int, dim)
+		for a := 0; a < dim; a++ {
+			lo[a] = int(math.Floor((c[a] - 2*r) / s))
+			hi[a] = int(math.Ceil((c[a] + 2*r) / s))
+		}
+		idx := append([]int(nil), lo...)
+		for {
+			p := geom.NewVec(dim)
+			for a := 0; a < dim; a++ {
+				p[a] = float64(idx[a]) * s
+			}
+			if geom.Dist(p, c) <= 2*r+s {
+				key := fmt.Sprint(idx)
+				if _, ok := seen[key]; !ok {
+					seen[key] = struct{}{}
+					out = append(out, p)
+				}
+			}
+			a := 0
+			for a < dim {
+				idx[a]++
+				if idx[a] <= hi[a] {
+					break
+				}
+				idx[a] = lo[a]
+				a++
+			}
+			if a == dim {
+				break
+			}
+		}
+	}
+	// Always include the seeds themselves so the search can never do worse
+	// than Gonzalez on the discrete side.
+	out = append(out, seeds...)
+	return out, effEps
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+		if out < 0 || out > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package kcenter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEpsApproxValidation(t *testing.T) {
+	pts := []geom.Vec{{0, 0}}
+	if _, err := EpsApprox(nil, 1, 0.5, EpsOptions{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := EpsApprox(pts, 0, 0.5, EpsOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := EpsApprox(pts, 1, 0, EpsOptions{}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestEpsApproxDegenerate(t *testing.T) {
+	// k ≥ n: radius 0, centers are the points.
+	pts := []geom.Vec{{0, 0}, {5, 5}}
+	res, err := EpsApprox(pts, 2, 0.5, EpsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 0 {
+		t.Errorf("radius = %g, want 0", res.Radius)
+	}
+	// All coincident points.
+	same := []geom.Vec{{1, 1}, {1, 1}, {1, 1}}
+	res, err = EpsApprox(same, 1, 0.5, EpsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 0 {
+		t.Errorf("radius = %g, want 0 for coincident points", res.Radius)
+	}
+}
+
+func TestEpsApproxTwoClusters(t *testing.T) {
+	pts := []geom.Vec{{0, 0}, {1, 0}, {0, 1}, {20, 20}, {21, 20}}
+	res, err := EpsApprox(pts, 2, 0.25, EpsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal continuous radius ≈ max cluster MEB radius: cluster 1 is an
+	// isoceles right triangle with circumradius √2/2 ≈ 0.707; cluster 2 has
+	// radius 0.5. (1+ε)·OPT with ε=0.25 → ≤ 0.884.
+	opt := math.Sqrt2 / 2
+	if res.Radius > opt*(1+res.EffectiveEps)+1e-9 {
+		t.Errorf("radius %g exceeds (1+ε)·OPT = %g (effEps=%g)",
+			res.Radius, opt*(1+res.EffectiveEps), res.EffectiveEps)
+	}
+	if res.Radius < opt-1e-9 {
+		t.Errorf("radius %g below the continuous OPT %g — impossible", res.Radius, opt)
+	}
+}
+
+// TestEpsApproxBeatsOrMatchesGonzalez: the result is never worse than the
+// Gonzalez seed (the algorithm keeps the better of the two).
+func TestEpsApproxBeatsOrMatchesGonzalez(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(12)
+		k := 1 + rng.Intn(2)
+		pts := randomCloud(rng, n, 2)
+		_, gr, err := Gonzalez[geom.Vec](euclid, pts, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EpsApprox(pts, k, 0.5, EpsOptions{MaxCandidates: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Radius > gr+1e-9 {
+			t.Fatalf("trial %d: EpsApprox %g worse than Gonzalez %g", trial, res.Radius, gr)
+		}
+	}
+}
+
+// TestEpsApproxGuarantee compares against the discrete optimum over input
+// points: the continuous optimum is at least half the discrete one, and
+// EpsApprox must land within (1+ε) of the continuous optimum, hence within
+// (1+ε)·OPT_discrete of the discrete optimum too. We check the directly
+// provable chain: result ≤ (1+ε)·OPT_cont and OPT_cont ≤ OPT_disc.
+func TestEpsApproxGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(8)
+		k := 1 + rng.Intn(2)
+		pts := randomCloud(rng, n, 2)
+		res, err := EpsApprox(pts, k, 0.5, EpsOptions{MaxCandidates: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optDisc, err := ExactDiscrete[geom.Vec](euclid, pts, pts, k, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// OPT_cont ≤ OPT_disc, so (1+ε)·OPT_disc is a valid upper bound.
+		if res.Radius > (1+res.EffectiveEps)*optDisc+1e-9 {
+			t.Fatalf("trial %d: radius %g > (1+ε)·OPT_disc %g",
+				trial, res.Radius, (1+res.EffectiveEps)*optDisc)
+		}
+	}
+}
+
+func TestEpsApproxCandidateCapCoarsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randomCloud(rng, 20, 2)
+	res, err := EpsApprox(pts, 2, 0.05, EpsOptions{MaxCandidates: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveEps <= 0.05 {
+		t.Errorf("expected coarsened epsilon, got %g with %d candidates",
+			res.EffectiveEps, res.Candidates)
+	}
+}
+
+func BenchmarkGonzalez(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{100, 1000, 10000} {
+		pts := randomCloud(rng, n, 4)
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Gonzalez[geom.Vec](euclid, pts, 8, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEpsApprox(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomCloud(rng, 40, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EpsApprox(pts, 2, 0.5, EpsOptions{MaxCandidates: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,297 @@
+// Package kcenter implements deterministic (certain-point) k-center solvers:
+//
+//   - Gonzalez's greedy farthest-point algorithm (factor 2, any metric,
+//     O(nk)) — the solver behind the paper's O(nz + n·log k) pipelines;
+//   - a textbook (1+ε)-approximation for Euclidean space and constant k
+//     (Gonzalez radius → grid candidates of spacing εr/√d → discrete
+//     k-center by radius binary search with branch-and-bound covering);
+//   - exact discrete k-center by exhaustive candidate-subset search (the
+//     brute-force optimum oracle on small instances);
+//   - the exact 1D k-center (binary search over pairwise half-gaps).
+//
+// All solvers report both the chosen centers and their exact covering radius.
+package kcenter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metricspace"
+)
+
+// Radius returns max_p min_c d(p, c), the covering radius of centers over
+// pts (0 for empty pts). It panics if centers is empty and pts is not.
+func Radius[P any](space metricspace.Space[P], pts, centers []P) float64 {
+	var r float64
+	for _, p := range pts {
+		if d := minDist(space, p, centers); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// AssignNearest returns, for each point, the index of its nearest center
+// (ties to the lowest index). It panics if centers is empty and pts is not.
+func AssignNearest[P any](space metricspace.Space[P], pts, centers []P) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		best, bestD := -1, math.Inf(1)
+		for c, ctr := range centers {
+			if d := space.Dist(p, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best < 0 {
+			panic("kcenter: AssignNearest with no centers")
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func minDist[P any](space metricspace.Space[P], p P, centers []P) float64 {
+	best := math.Inf(1)
+	for _, c := range centers {
+		if d := space.Dist(p, c); d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		panic("kcenter: distance to empty center set")
+	}
+	return best
+}
+
+// Gonzalez runs the greedy farthest-point 2-approximation from the given
+// start index: repeatedly add the point farthest from the current centers.
+// It returns the chosen center indices (into pts) and the exact covering
+// radius of the selection. k is clamped to len(pts); it returns an error for
+// k ≤ 0 or empty pts.
+func Gonzalez[P any](space metricspace.Space[P], pts []P, k, start int) ([]int, float64, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("kcenter: Gonzalez on empty point set")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("kcenter: Gonzalez with k = %d", k)
+	}
+	if start < 0 || start >= n {
+		return nil, 0, fmt.Errorf("kcenter: Gonzalez start index %d out of range [0,%d)", start, n)
+	}
+	if k > n {
+		k = n
+	}
+	centers := make([]int, 0, k)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	cur := start
+	for len(centers) < k {
+		centers = append(centers, cur)
+		far, farD := cur, 0.0
+		for i := 0; i < n; i++ {
+			if d := space.Dist(pts[i], pts[cur]); d < dist[i] {
+				dist[i] = d
+			}
+			if dist[i] > farD {
+				far, farD = i, dist[i]
+			}
+		}
+		cur = far
+	}
+	radius := 0.0
+	for _, d := range dist {
+		if d > radius {
+			radius = d
+		}
+	}
+	return centers, radius, nil
+}
+
+// Select returns pts[idx[0]], pts[idx[1]], … — a convenience for turning
+// index outputs into point outputs.
+func Select[P any](pts []P, idx []int) []P {
+	out := make([]P, len(idx))
+	for i, j := range idx {
+		out[i] = pts[j]
+	}
+	return out
+}
+
+// ExactDiscrete finds the optimal k centers drawn from the candidate set by
+// exhaustive subset enumeration, returning candidate indices and the optimal
+// radius. It refuses to enumerate more than maxSubsets subsets (use ~5e6).
+// This is the test/experiment oracle for small instances.
+func ExactDiscrete[P any](space metricspace.Space[P], pts, candidates []P, k, maxSubsets int) ([]int, float64, error) {
+	m := len(candidates)
+	if len(pts) == 0 {
+		return nil, 0, fmt.Errorf("kcenter: ExactDiscrete on empty point set")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("kcenter: ExactDiscrete with k = %d", k)
+	}
+	if m == 0 {
+		return nil, 0, fmt.Errorf("kcenter: ExactDiscrete with no candidates")
+	}
+	if k > m {
+		k = m
+	}
+	if c := binomial(m, k); c < 0 || c > maxSubsets {
+		return nil, 0, fmt.Errorf("kcenter: C(%d,%d) subsets exceed limit %d", m, k, maxSubsets)
+	}
+	// Precompute point-candidate distances once.
+	d := make([][]float64, len(pts))
+	for i, p := range pts {
+		d[i] = make([]float64, m)
+		for j, c := range candidates {
+			d[i][j] = space.Dist(p, c)
+		}
+	}
+	best := make([]int, k)
+	bestR := math.Inf(1)
+	subset := make([]int, k)
+	var rec func(pos, from int)
+	rec = func(pos, from int) {
+		if pos == k {
+			r := 0.0
+			for i := range pts {
+				pd := math.Inf(1)
+				for _, c := range subset {
+					if d[i][c] < pd {
+						pd = d[i][c]
+					}
+				}
+				if pd > r {
+					r = pd
+				}
+				if r >= bestR {
+					return // cannot improve
+				}
+			}
+			if r < bestR {
+				bestR = r
+				copy(best, subset)
+			}
+			return
+		}
+		for c := from; c <= m-(k-pos); c++ {
+			subset[pos] = c
+			rec(pos+1, c+1)
+		}
+	}
+	rec(0, 0)
+	return best, bestR, nil
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c < 0 || c > 1<<40 {
+			return -1
+		}
+	}
+	return c
+}
+
+// Exact1D solves the 1D k-center problem exactly for certain points with
+// centers anywhere on the line: it returns k center coordinates and the
+// optimal radius. O(n² log n) via binary search over half-gap candidates with
+// a greedy feasibility check.
+func Exact1D(xs []float64, k int) ([]float64, float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("kcenter: Exact1D on empty input")
+	}
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("kcenter: Exact1D with k = %d", k)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if k >= n {
+		out := make([]float64, 0, n)
+		for i, x := range sorted {
+			if i == 0 || x != sorted[i-1] {
+				out = append(out, x)
+			}
+		}
+		return out, 0, nil
+	}
+	// Candidate radii: (x_j − x_i)/2 for all pairs, plus 0.
+	cand := []float64{0}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cand = append(cand, (sorted[j]-sorted[i])/2)
+		}
+	}
+	sort.Float64s(cand)
+	cand = dedupFloats(cand)
+	lo, hi := 0, len(cand)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if coverable1D(sorted, k, cand[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r := cand[lo]
+	return place1D(sorted, k, r), r, nil
+}
+
+// coverable1D reports whether k intervals of half-length r cover the sorted
+// points.
+func coverable1D(sorted []float64, k int, r float64) bool {
+	used := 0
+	i := 0
+	n := len(sorted)
+	for i < n {
+		used++
+		if used > k {
+			return false
+		}
+		reach := sorted[i] + 2*r
+		for i < n && sorted[i] <= reach+1e-15*(1+math.Abs(reach)) {
+			i++
+		}
+	}
+	return true
+}
+
+// place1D greedily places up to k centers of radius r over the sorted points.
+func place1D(sorted []float64, k int, r float64) []float64 {
+	var centers []float64
+	i, n := 0, len(sorted)
+	for i < n && len(centers) < k {
+		c := sorted[i] + r
+		centers = append(centers, c)
+		reach := sorted[i] + 2*r
+		for i < n && sorted[i] <= reach+1e-15*(1+math.Abs(reach)) {
+			i++
+		}
+	}
+	// Pad with the last center if fewer than k were needed.
+	for len(centers) < k {
+		centers = append(centers, centers[len(centers)-1])
+	}
+	return centers
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package kcenter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+)
+
+var euclid = metricspace.Euclidean{}
+
+func randomCloud(rng *rand.Rand, n, d int) []geom.Vec {
+	pts := make([]geom.Vec, n)
+	for i := range pts {
+		pts[i] = geom.NewVec(d)
+		for j := 0; j < d; j++ {
+			pts[i][j] = rng.NormFloat64() * 4
+		}
+	}
+	return pts
+}
+
+func TestRadiusAndAssign(t *testing.T) {
+	pts := []geom.Vec{{0, 0}, {10, 0}, {1, 0}}
+	centers := []geom.Vec{{0, 0}, {10, 0}}
+	if got := Radius[geom.Vec](euclid, pts, centers); got != 1 {
+		t.Errorf("Radius = %g, want 1", got)
+	}
+	assign := AssignNearest[geom.Vec](euclid, pts, centers)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Errorf("assign[%d] = %d, want %d", i, assign[i], want[i])
+		}
+	}
+	if got := Radius[geom.Vec](euclid, nil, centers); got != 0 {
+		t.Errorf("Radius of empty = %g", got)
+	}
+}
+
+func TestGonzalezBasic(t *testing.T) {
+	// Three tight clusters; k=3 must pick one point in each.
+	pts := []geom.Vec{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 0}, {10.1, 0},
+		{0, 10}, {0, 10.1},
+	}
+	idx, r, err := Gonzalez[geom.Vec](euclid, pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 {
+		t.Fatalf("centers = %v", idx)
+	}
+	if r > 0.2 {
+		t.Errorf("radius = %g, want ≤ 0.2 (one center per cluster)", r)
+	}
+	// Radius reported must equal recomputed radius.
+	if got := Radius[geom.Vec](euclid, pts, Select(pts, idx)); math.Abs(got-r) > 1e-12 {
+		t.Errorf("reported radius %g, recomputed %g", r, got)
+	}
+}
+
+func TestGonzalezErrors(t *testing.T) {
+	pts := []geom.Vec{{0}}
+	if _, _, err := Gonzalez[geom.Vec](euclid, nil, 1, 0); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := Gonzalez[geom.Vec](euclid, pts, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := Gonzalez[geom.Vec](euclid, pts, 1, 5); err == nil {
+		t.Error("bad start accepted")
+	}
+}
+
+func TestGonzalezKGreaterThanN(t *testing.T) {
+	pts := []geom.Vec{{0}, {1}}
+	idx, r, err := Gonzalez[geom.Vec](euclid, pts, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || r != 0 {
+		t.Errorf("idx=%v r=%g, want all points and radius 0", idx, r)
+	}
+}
+
+// TestGonzalezTwoApprox verifies the classical guarantee against the exact
+// discrete optimum (centers restricted to input points, where Gonzalez's
+// 2-approximation also holds).
+func TestGonzalezTwoApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		pts := randomCloud(rng, n, 2)
+		_, gr, err := Gonzalez[geom.Vec](euclid, pts, k, rng.Intn(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := ExactDiscrete[geom.Vec](euclid, pts, pts, k, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt == 0 {
+			if gr != 0 {
+				t.Fatalf("trial %d: OPT=0 but Gonzalez=%g", trial, gr)
+			}
+			continue
+		}
+		if gr > 2*opt+1e-9 {
+			t.Fatalf("trial %d: Gonzalez %g > 2·OPT %g", trial, gr, 2*opt)
+		}
+		if gr < opt-1e-9 {
+			t.Fatalf("trial %d: Gonzalez %g below discrete OPT %g — radius bug", trial, gr, opt)
+		}
+	}
+}
+
+func TestExactDiscreteSimple(t *testing.T) {
+	pts := []geom.Vec{{0}, {1}, {10}, {11}}
+	idx, r, err := ExactDiscrete[geom.Vec](euclid, pts, pts, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("opt radius = %g, want 1", r)
+	}
+	if len(idx) != 2 {
+		t.Errorf("centers = %v", idx)
+	}
+}
+
+func TestExactDiscreteGuards(t *testing.T) {
+	pts := randomCloud(rand.New(rand.NewSource(1)), 30, 2)
+	if _, _, err := ExactDiscrete[geom.Vec](euclid, pts, pts, 10, 1000); err == nil {
+		t.Error("subset explosion accepted")
+	}
+	if _, _, err := ExactDiscrete[geom.Vec](euclid, nil, pts, 1, 1000); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, _, err := ExactDiscrete[geom.Vec](euclid, pts, nil, 1, 1000); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, _, err := ExactDiscrete[geom.Vec](euclid, pts, pts, 0, 1000); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestExact1DKnown(t *testing.T) {
+	xs := []float64{0, 1, 10, 11}
+	centers, r, err := Exact1D(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("radius = %g, want 0.5", r)
+	}
+	if len(centers) != 2 {
+		t.Fatalf("centers = %v", centers)
+	}
+	if math.Abs(centers[0]-0.5) > 1e-9 || math.Abs(centers[1]-10.5) > 1e-9 {
+		t.Errorf("centers = %v, want [0.5, 10.5]", centers)
+	}
+}
+
+func TestExact1DSinglePointAndKBig(t *testing.T) {
+	centers, r, err := Exact1D([]float64{5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 || centers[0] != 5 {
+		t.Errorf("centers=%v r=%g", centers, r)
+	}
+	if _, _, err := Exact1D(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := Exact1D([]float64{1}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestExact1DMatchesBruteForce cross-checks the 1D solver against exhaustive
+// search over candidate half-gap radii with a brute-force cover check.
+func TestExact1DMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Round(rng.NormFloat64()*100) / 10
+		}
+		_, r, err := Exact1D(xs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: try all half-gap radii, smallest feasible wins.
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				cand := math.Abs(xs[j]-xs[i]) / 2
+				if cand < best && coverableBrute(xs, k, cand) {
+					best = cand
+				}
+			}
+		}
+		if coverableBrute(xs, k, 0) {
+			best = 0
+		}
+		if math.Abs(r-best) > 1e-9 {
+			t.Fatalf("trial %d: Exact1D %g vs brute %g (xs=%v k=%d)", trial, r, best, xs, k)
+		}
+	}
+}
+
+func coverableBrute(xs []float64, k int, r float64) bool {
+	rem := map[float64]bool{}
+	for _, x := range xs {
+		rem[x] = true
+	}
+	for c := 0; c < k && len(rem) > 0; c++ {
+		// Greedy: cover the leftmost remaining point.
+		left := math.Inf(1)
+		for x := range rem {
+			if x < left {
+				left = x
+			}
+		}
+		for x := range rem {
+			if x <= left+2*r+1e-12 {
+				delete(rem, x)
+			}
+		}
+	}
+	return len(rem) == 0
+}
+
+func TestSelect(t *testing.T) {
+	pts := []geom.Vec{{0}, {1}, {2}}
+	got := Select(pts, []int{2, 0})
+	if len(got) != 2 || got[0][0] != 2 || got[1][0] != 0 {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestGonzalezOnFiniteMetric(t *testing.T) {
+	// Gonzalez must be metric-generic: run it over a finite metric.
+	f, err := metricspace.NewFinite([][]float64{
+		{0, 1, 5, 6},
+		{1, 0, 5, 6},
+		{5, 5, 0, 1},
+		{6, 6, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, r, err := Gonzalez[int](f, f.Points(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1 {
+		t.Errorf("radius = %g, want ≤ 1 (one center per pair)", r)
+	}
+	if len(idx) != 2 {
+		t.Errorf("centers = %v", idx)
+	}
+}

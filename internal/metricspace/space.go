@@ -1,0 +1,146 @@
+// Package metricspace defines the metric-space abstraction the k-center
+// algorithms are written against, together with the concrete spaces used in
+// the paper: Euclidean space R^d (and its L1/L∞ variants) and finite metric
+// spaces given by an explicit distance matrix.
+//
+// The paper's theorems split into two regimes — Euclidean space, where the
+// expected point P̄ exists, and general metric spaces, where only the
+// 1-center surrogate P̃ is available — so every algorithm in this repository
+// takes a Space[P] and stays agnostic about which regime it runs in.
+package metricspace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Space is a metric d over points of type P. Implementations must satisfy
+// the metric axioms: d(a,a)=0, symmetry and the triangle inequality.
+// Implementations may be approximate metrics (e.g. floating-point shortest
+// paths); tests verify the axioms up to tolerance.
+type Space[P any] interface {
+	Dist(a, b P) float64
+}
+
+// DistFunc adapts a plain function to the Space interface.
+type DistFunc[P any] func(a, b P) float64
+
+// Dist calls f.
+func (f DistFunc[P]) Dist(a, b P) float64 { return f(a, b) }
+
+// Euclidean is R^d with the L2 metric. The zero value is ready to use; every
+// call validates dimensions via geom.Dist.
+type Euclidean struct{}
+
+// Dist returns the L2 distance.
+func (Euclidean) Dist(a, b geom.Vec) float64 { return geom.Dist(a, b) }
+
+// L1 is R^d with the Manhattan metric.
+type L1 struct{}
+
+// Dist returns the L1 distance.
+func (L1) Dist(a, b geom.Vec) float64 { return geom.Dist1(a, b) }
+
+// LInf is R^d with the Chebyshev metric.
+type LInf struct{}
+
+// Dist returns the L∞ distance.
+func (LInf) Dist(a, b geom.Vec) float64 { return geom.DistInf(a, b) }
+
+// Finite is a finite metric space over points {0, …, n−1} with an explicit
+// distance matrix. It implements Space[int].
+type Finite struct {
+	d [][]float64
+}
+
+// NewFinite builds a finite space from a distance matrix. It validates shape
+// (square), zero diagonal, symmetry and non-negativity; it does NOT check the
+// triangle inequality (that is O(n³) — call Check when wanted).
+func NewFinite(d [][]float64) (*Finite, error) {
+	n := len(d)
+	for i, row := range d {
+		if len(row) != n {
+			return nil, fmt.Errorf("metricspace: row %d has length %d, want %d", i, len(row), n)
+		}
+		if d[i][i] != 0 {
+			return nil, fmt.Errorf("metricspace: d[%d][%d] = %g, want 0", i, i, d[i][i])
+		}
+		for j, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return nil, fmt.Errorf("metricspace: d[%d][%d] = %g is not a valid distance", i, j, x)
+			}
+			if x != d[j][i] {
+				return nil, fmt.Errorf("metricspace: asymmetric at (%d,%d): %g vs %g", i, j, x, d[j][i])
+			}
+		}
+	}
+	return &Finite{d: d}, nil
+}
+
+// FromPoints materializes the finite metric induced on pts by the metric of
+// space. The resulting Finite indexes points by their position in pts.
+func FromPoints[P any](space Space[P], pts []P) *Finite {
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := space.Dist(pts[i], pts[j])
+			d[i][j] = x
+			d[j][i] = x
+		}
+	}
+	return &Finite{d: d}
+}
+
+// N returns the number of points in the space.
+func (f *Finite) N() int { return len(f.d) }
+
+// Dist returns the matrix entry d[a][b]. Out-of-range indices panic, matching
+// slice semantics.
+func (f *Finite) Dist(a, b int) float64 { return f.d[a][b] }
+
+// Points returns all point indices 0…n−1, the natural candidate-center set
+// for algorithms over a finite space.
+func (f *Finite) Points() []int {
+	out := make([]int, f.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Check verifies the triangle inequality up to tol, returning a descriptive
+// error for the first violated triple. It is O(n³) and intended for tests
+// and input validation of user-supplied matrices.
+func (f *Finite) Check(tol float64) error {
+	n := f.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if f.d[i][j] > f.d[i][k]+f.d[k][j]+tol {
+					return fmt.Errorf("metricspace: triangle inequality violated: d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g",
+						i, j, f.d[i][j], i, k, k, j, f.d[i][k]+f.d[k][j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Diameter returns the largest pairwise distance in the space (0 when n ≤ 1).
+func (f *Finite) Diameter() float64 {
+	var m float64
+	for i := range f.d {
+		for _, x := range f.d[i] {
+			if x > m {
+				m = x
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,149 @@
+package metricspace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEuclideanDist(t *testing.T) {
+	var e Euclidean
+	if got := e.Dist(geom.Vec{0, 0}, geom.Vec{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %g, want 5", got)
+	}
+}
+
+func TestL1AndLInf(t *testing.T) {
+	a, b := geom.Vec{0, 0}, geom.Vec{3, 4}
+	if got := (L1{}).Dist(a, b); got != 7 {
+		t.Errorf("L1 = %g, want 7", got)
+	}
+	if got := (LInf{}).Dist(a, b); got != 4 {
+		t.Errorf("LInf = %g, want 4", got)
+	}
+}
+
+func TestDistFunc(t *testing.T) {
+	f := DistFunc[int](func(a, b int) float64 { return math.Abs(float64(a - b)) })
+	var s Space[int] = f
+	if got := s.Dist(3, 7); got != 4 {
+		t.Errorf("DistFunc = %g, want 4", got)
+	}
+}
+
+func TestNewFiniteValid(t *testing.T) {
+	f, err := NewFinite([][]float64{
+		{0, 1, 2},
+		{1, 0, 1.5},
+		{2, 1.5, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 3 {
+		t.Errorf("N = %d", f.N())
+	}
+	if f.Dist(0, 2) != 2 || f.Dist(2, 0) != 2 {
+		t.Error("Dist lookup wrong")
+	}
+	if err := f.Check(0); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if f.Diameter() != 2 {
+		t.Errorf("Diameter = %g", f.Diameter())
+	}
+	pts := f.Points()
+	if len(pts) != 3 || pts[0] != 0 || pts[2] != 2 {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestNewFiniteRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		d    [][]float64
+		want string
+	}{
+		{"non-square", [][]float64{{0, 1}}, "length"},
+		{"nonzero diagonal", [][]float64{{1}}, "want 0"},
+		{"negative", [][]float64{{0, -1}, {-1, 0}}, "not a valid distance"},
+		{"NaN", [][]float64{{0, math.NaN()}, {math.NaN(), 0}}, "not a valid distance"},
+		{"asymmetric", [][]float64{{0, 1}, {2, 0}}, "asymmetric"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFinite(tc.d)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckDetectsTriangleViolation(t *testing.T) {
+	f, err := NewFinite([][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Check(1e-9); err == nil {
+		t.Fatal("Check missed a triangle violation")
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	pts := []geom.Vec{{0, 0}, {3, 4}, {0, 1}}
+	f := FromPoints[geom.Vec](Euclidean{}, pts)
+	if f.N() != 3 {
+		t.Fatalf("N = %d", f.N())
+	}
+	if math.Abs(f.Dist(0, 1)-5) > 1e-12 {
+		t.Errorf("Dist(0,1) = %g", f.Dist(0, 1))
+	}
+	if math.Abs(f.Dist(1, 2)-math.Hypot(3, 3)) > 1e-12 {
+		t.Errorf("Dist(1,2) = %g", f.Dist(1, 2))
+	}
+	if err := f.Check(1e-9); err != nil {
+		t.Errorf("induced metric fails Check: %v", err)
+	}
+}
+
+func TestPropertyInducedMetricsSatisfyAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	spaces := map[string]Space[geom.Vec]{"L2": Euclidean{}, "L1": L1{}, "Linf": LInf{}}
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		d := 1 + rng.Intn(4)
+		pts := make([]geom.Vec, n)
+		for i := range pts {
+			pts[i] = geom.NewVec(d)
+			for j := 0; j < d; j++ {
+				pts[i][j] = rng.NormFloat64() * 5
+			}
+		}
+		for name, sp := range spaces {
+			if err := FromPoints(sp, pts).Check(1e-9); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestEmptyFinite(t *testing.T) {
+	f, err := NewFinite(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 0 || f.Diameter() != 0 || len(f.Points()) != 0 {
+		t.Error("empty finite space misbehaves")
+	}
+}

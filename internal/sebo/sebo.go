@@ -1,0 +1,177 @@
+// Package sebo implements the two single-point optimization primitives the
+// paper's surrogate construction needs in Euclidean space:
+//
+//   - the (1+ε)-approximate minimum enclosing ball (Badoiu–Clarkson core-set
+//     iteration), used as the certain 1-center reference and inside the
+//     deterministic k-center solvers, and
+//   - the weighted geometric median (Weiszfeld iteration with the
+//     Vardi–Zhang fix for iterates landing on data points), which is exactly
+//     the paper's 1-center surrogate P̃ of a single uncertain point in
+//     Euclidean space: the minimizer of Σ_j p_j · d(P_j, q).
+//
+// Both work in arbitrary dimension and use only the standard library.
+package sebo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// MEB returns a center whose enclosing radius is at most (1+eps) times the
+// optimal minimum enclosing ball radius of pts, via the Badoiu–Clarkson
+// iteration (c ← c + (farthest − c)/(i+1), ⌈1/eps²⌉ rounds). It also returns
+// the exact radius of the returned center. It panics if pts is empty or
+// eps ≤ 0.
+func MEB(pts []geom.Vec, eps float64) (geom.Vec, float64) {
+	if len(pts) == 0 {
+		panic("sebo: MEB of empty point set")
+	}
+	if !(eps > 0) {
+		panic(fmt.Sprintf("sebo: MEB with eps = %g", eps))
+	}
+	c := pts[0].Clone()
+	rounds := int(math.Ceil(1/(eps*eps))) + 1
+	for i := 1; i <= rounds; i++ {
+		far := farthest(pts, c)
+		c.AxpyInPlace(1/float64(i+1), pts[far].Sub(c))
+	}
+	return c, Radius(pts, c)
+}
+
+// Radius returns max_p d(p, c), the enclosing radius of c over pts
+// (0 for an empty set).
+func Radius(pts []geom.Vec, c geom.Vec) float64 {
+	var r float64
+	for _, p := range pts {
+		if d := geom.Dist(p, c); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+func farthest(pts []geom.Vec, c geom.Vec) int {
+	best, bestD := 0, -1.0
+	for i, p := range pts {
+		if d := geom.DistSq(p, c); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// MedianOptions controls the Weiszfeld iteration.
+type MedianOptions struct {
+	// Tol is the movement threshold that terminates the iteration.
+	// Defaults to 1e-10 (relative to the point-set scale).
+	Tol float64
+	// MaxIter bounds the number of iterations. Defaults to 1000.
+	MaxIter int
+}
+
+func (o MedianOptions) withDefaults() MedianOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	return o
+}
+
+// GeometricMedian minimizes f(q) = Σ wᵢ·‖ptsᵢ − q‖ (the weighted Fermat–Weber
+// objective) with the Weiszfeld iteration. Weights must be positive; the
+// slices must have equal nonzero length. It panics on invalid input, matching
+// the package's construction-time contract.
+//
+// When an iterate coincides with a data point the Vardi–Zhang (2000) rule is
+// applied: the point either is the optimum (its weight dominates the pull of
+// the others) or the iterate steps off it in the pull direction.
+func GeometricMedian(pts []geom.Vec, weights []float64, opts MedianOptions) geom.Vec {
+	if len(pts) == 0 {
+		panic("sebo: GeometricMedian of empty point set")
+	}
+	if len(pts) != len(weights) {
+		panic(fmt.Sprintf("sebo: %d points, %d weights", len(pts), len(weights)))
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("sebo: weight %d = %g is not positive and finite", i, w))
+		}
+	}
+	opts = opts.withDefaults()
+
+	if len(pts) == 1 {
+		return pts[0].Clone()
+	}
+	scale := geom.BoundingBox(pts).Diameter()
+	if scale == 0 {
+		return pts[0].Clone() // all points coincide
+	}
+	snapTol := 1e-12 * scale
+
+	// Start from the weighted mean — a good interior initial iterate.
+	q := geom.WeightedMean(pts, weights)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		num := geom.NewVec(q.Dim())
+		var den float64
+		coincident := -1
+		for i, p := range pts {
+			d := geom.Dist(p, q)
+			if d <= snapTol {
+				coincident = i
+				continue
+			}
+			num.AxpyInPlace(weights[i]/d, p)
+			den += weights[i] / d
+		}
+		var next geom.Vec
+		if coincident >= 0 {
+			// Vardi–Zhang: R is the pull of the non-coincident points at q.
+			r := geom.NewVec(q.Dim())
+			for i, p := range pts {
+				if i == coincident {
+					continue
+				}
+				d := geom.Dist(p, q)
+				if d <= snapTol {
+					continue
+				}
+				r.AxpyInPlace(weights[i]/d, p.Sub(q))
+			}
+			rnorm := r.Norm()
+			w := weights[coincident]
+			if rnorm <= w {
+				return q // q is optimal: subgradient contains 0
+			}
+			if den == 0 {
+				return q
+			}
+			t := math.Min(1, (rnorm-w)/ /* residual pull */ rnorm)
+			tilde := num.Scale(1 / den)
+			next = q.Lerp(tilde, t)
+		} else {
+			if den == 0 {
+				return q
+			}
+			next = num.Scale(1 / den)
+		}
+		if geom.Dist(next, q) <= opts.Tol*scale {
+			return next
+		}
+		q = next
+	}
+	return q
+}
+
+// FermatWeberCost evaluates the weighted Fermat–Weber objective
+// Σ wᵢ·‖ptsᵢ − q‖ at q.
+func FermatWeberCost(pts []geom.Vec, weights []float64, q geom.Vec) float64 {
+	var s float64
+	for i, p := range pts {
+		s += weights[i] * geom.Dist(p, q)
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package sebo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomCloud(rng *rand.Rand, n, d int) []geom.Vec {
+	pts := make([]geom.Vec, n)
+	for i := range pts {
+		pts[i] = geom.NewVec(d)
+		for j := 0; j < d; j++ {
+			pts[i][j] = rng.NormFloat64() * 3
+		}
+	}
+	return pts
+}
+
+func TestMEBSinglePoint(t *testing.T) {
+	c, r := MEB([]geom.Vec{{1, 2}}, 0.1)
+	if !c.Equal(geom.Vec{1, 2}, 1e-9) || r != 0 {
+		t.Errorf("MEB of single point = %v, r=%g", c, r)
+	}
+}
+
+func TestMEBTwoPoints(t *testing.T) {
+	// Optimal ball of two points: midpoint, radius half the distance.
+	c, r := MEB([]geom.Vec{{0, 0}, {2, 0}}, 0.01)
+	if math.Abs(r-1) > 0.02 {
+		t.Errorf("radius = %g, want ≈1 (within 1%%)", r)
+	}
+	if geom.Dist(c, geom.Vec{1, 0}) > 0.05 {
+		t.Errorf("center = %v, want ≈(1,0)", c)
+	}
+}
+
+func TestMEBApproximationGuarantee(t *testing.T) {
+	// Against a brute-force reference: for points on a known circle the
+	// optimal radius is the circle radius.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(30)
+		pts := make([]geom.Vec, n)
+		for i := range pts {
+			theta := rng.Float64() * 2 * math.Pi
+			pts[i] = geom.Vec{5 * math.Cos(theta), 5 * math.Sin(theta)}
+		}
+		// Ensure the circle is "full" so OPT = 5: add antipodal pairs.
+		pts = append(pts, geom.Vec{5, 0}, geom.Vec{-5, 0}, geom.Vec{0, 5}, geom.Vec{0, -5})
+		eps := 0.05
+		_, r := MEB(pts, eps)
+		if r > 5*(1+eps)+1e-9 {
+			t.Fatalf("trial %d: radius %g exceeds (1+ε)·OPT = %g", trial, r, 5*(1+eps))
+		}
+		if r < 5-1e-9 {
+			t.Fatalf("trial %d: radius %g below OPT 5 — Radius computation broken", trial, r)
+		}
+	}
+}
+
+func TestMEBHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomCloud(rng, 50, 16)
+	c, r := MEB(pts, 0.1)
+	if !c.IsFinite() {
+		t.Fatal("non-finite center")
+	}
+	// Any point is a weak upper-bound anchor: r ≤ diameter.
+	diam := geom.BoundingBox(pts).Diameter()
+	if r > diam {
+		t.Errorf("radius %g exceeds bbox diameter %g", r, diam)
+	}
+	// And r must be at least half the max pairwise distance.
+	var maxPair float64
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := geom.Dist(pts[i], pts[j]); d > maxPair {
+				maxPair = d
+			}
+		}
+	}
+	if r < maxPair/2-1e-9 {
+		t.Errorf("radius %g below diameter/2 = %g", r, maxPair/2)
+	}
+}
+
+func TestMEBPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":   func() { MEB(nil, 0.1) },
+		"bad eps": func() { MEB([]geom.Vec{{0}}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRadius(t *testing.T) {
+	pts := []geom.Vec{{0, 0}, {3, 4}}
+	if got := Radius(pts, geom.Vec{0, 0}); got != 5 {
+		t.Errorf("Radius = %g, want 5", got)
+	}
+	if got := Radius(nil, geom.Vec{0, 0}); got != 0 {
+		t.Errorf("Radius of empty = %g, want 0", got)
+	}
+}
+
+func TestGeometricMedianSingle(t *testing.T) {
+	m := GeometricMedian([]geom.Vec{{3, 7}}, []float64{2}, MedianOptions{})
+	if !m.Equal(geom.Vec{3, 7}, 1e-9) {
+		t.Errorf("median of single point = %v", m)
+	}
+}
+
+func TestGeometricMedianCollinear(t *testing.T) {
+	// Unweighted median of {0, 1, 10} on a line is the middle point (1D
+	// Fermat–Weber = median).
+	pts := []geom.Vec{{0}, {1}, {10}}
+	w := []float64{1, 1, 1}
+	m := GeometricMedian(pts, w, MedianOptions{})
+	if math.Abs(m[0]-1) > 1e-6 {
+		t.Errorf("median = %v, want ≈(1)", m)
+	}
+}
+
+func TestGeometricMedianWeightDominance(t *testing.T) {
+	// A point holding the majority of the weight is the exact median.
+	pts := []geom.Vec{{0, 0}, {1, 0}, {0, 1}}
+	w := []float64{10, 1, 1}
+	m := GeometricMedian(pts, w, MedianOptions{})
+	if !m.Equal(geom.Vec{0, 0}, 1e-6) {
+		t.Errorf("median = %v, want (0,0) by weight dominance", m)
+	}
+}
+
+func TestGeometricMedianEquilateral(t *testing.T) {
+	// The unweighted Fermat point of an equilateral triangle is its centroid.
+	pts := []geom.Vec{{0, 0}, {1, 0}, {0.5, math.Sqrt(3) / 2}}
+	w := []float64{1, 1, 1}
+	m := GeometricMedian(pts, w, MedianOptions{})
+	want := geom.Mean(pts)
+	if !m.Equal(want, 1e-6) {
+		t.Errorf("median = %v, want centroid %v", m, want)
+	}
+}
+
+func TestGeometricMedianOptimality(t *testing.T) {
+	// Property: the returned point beats random perturbations of itself.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		d := 1 + rng.Intn(4)
+		pts := randomCloud(rng, n, d)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.1 + rng.Float64()
+		}
+		m := GeometricMedian(pts, w, MedianOptions{})
+		base := FermatWeberCost(pts, w, m)
+		for p := 0; p < 20; p++ {
+			pert := m.Clone()
+			pert[rng.Intn(d)] += (rng.Float64() - 0.5) * 0.2
+			if FermatWeberCost(pts, w, pert) < base-1e-6*(1+base) {
+				t.Fatalf("trial %d: perturbation improved cost %g → %g",
+					trial, base, FermatWeberCost(pts, w, pert))
+			}
+		}
+	}
+}
+
+func TestGeometricMedianCoincidentPoints(t *testing.T) {
+	// All points identical: the median is that point.
+	pts := []geom.Vec{{2, 2}, {2, 2}, {2, 2}}
+	m := GeometricMedian(pts, []float64{1, 1, 1}, MedianOptions{})
+	if !m.Equal(geom.Vec{2, 2}, 1e-9) {
+		t.Errorf("median = %v, want (2,2)", m)
+	}
+}
+
+func TestGeometricMedianPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":           func() { GeometricMedian(nil, nil, MedianOptions{}) },
+		"length mismatch": func() { GeometricMedian([]geom.Vec{{0}}, []float64{1, 2}, MedianOptions{}) },
+		"zero weight":     func() { GeometricMedian([]geom.Vec{{0}, {1}}, []float64{0, 1}, MedianOptions{}) },
+		"negative weight": func() { GeometricMedian([]geom.Vec{{0}, {1}}, []float64{-1, 1}, MedianOptions{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFermatWeberCost(t *testing.T) {
+	pts := []geom.Vec{{0, 0}, {3, 4}}
+	got := FermatWeberCost(pts, []float64{2, 1}, geom.Vec{0, 0})
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("cost = %g, want 5", got)
+	}
+}
+
+func BenchmarkMEB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomCloud(rng, 1000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MEB(pts, 0.1)
+	}
+}
+
+func BenchmarkGeometricMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomCloud(rng, 100, 4)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GeometricMedian(pts, w, MedianOptions{})
+	}
+}

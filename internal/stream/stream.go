@@ -1,0 +1,233 @@
+// Package stream provides one-pass algorithms for uncertain k-center: the
+// database/streaming setting the paper's introduction motivates (and the
+// probabilistic smallest-enclosing-ball streaming line of Munteanu et al.
+// cited in related work).
+//
+// Two substrates, both stdlib-only and O(k) / O(1) memory:
+//
+//   - Ball: the Zarrabi-Zadeh–Chan streaming minimum enclosing ball
+//     (factor 3/2): when a point lands outside the current ball, the ball
+//     grows to the smallest ball containing the old ball and the point.
+//   - Incremental: the Charikar–Chekuri–Feder–Motwani doubling algorithm
+//     for incremental k-center (factor 8): maintain ≤ k centers that are
+//     pairwise ≥ threshold apart and cover everything seen within the
+//     threshold; on overflow, double the threshold and merge centers.
+//
+// The uncertain wrappers feed each arriving uncertain point's surrogate
+// (expected point P̄, computed in O(z) — the paper's construction) into the
+// certain stream, composing the paper's reduction with the streaming
+// guarantees: the in-stream center set is an O(1)-approximation of the
+// best surrogate clustering at all times.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// Ball is a streaming minimum enclosing ball over R^d (Zarrabi-Zadeh–Chan).
+// The zero value is empty; Push points, then read Center/Radius.
+type Ball struct {
+	center geom.Vec
+	radius float64
+	n      int
+}
+
+// Push adds one point. The first point initializes the ball with radius 0.
+func (b *Ball) Push(p geom.Vec) {
+	if b.n == 0 {
+		b.center = p.Clone()
+		b.radius = 0
+		b.n = 1
+		return
+	}
+	if len(p) != len(b.center) {
+		panic(fmt.Sprintf("stream: dimension mismatch %d vs %d", len(p), len(b.center)))
+	}
+	b.n++
+	d := geom.Dist(b.center, p)
+	if d <= b.radius {
+		return
+	}
+	// Smallest ball containing the old ball and p: radius (d + r)/2,
+	// center shifted toward p by (d − r)/2.
+	newR := (d + b.radius) / 2
+	shift := (d - b.radius) / 2
+	b.center.AxpyInPlace(shift/d, p.Sub(b.center))
+	b.radius = newR
+}
+
+// N returns the number of points pushed.
+func (b *Ball) N() int { return b.n }
+
+// Center returns a copy of the current center. It panics on an empty ball.
+func (b *Ball) Center() geom.Vec {
+	if b.n == 0 {
+		panic("stream: Center of empty Ball")
+	}
+	return b.center.Clone()
+}
+
+// Radius returns the current radius (0 for an empty ball).
+func (b *Ball) Radius() float64 { return b.radius }
+
+// Incremental is the doubling algorithm for incremental k-center: after any
+// prefix of the stream, Centers() is a k-center solution whose radius is at
+// most 8 times the optimal radius of that prefix.
+type Incremental struct {
+	k         int
+	threshold float64
+	centers   []geom.Vec
+	n         int
+}
+
+// NewIncremental returns an incremental k-center sketch. It returns an
+// error if k ≤ 0.
+func NewIncremental(k int) (*Incremental, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("stream: k = %d", k)
+	}
+	return &Incremental{k: k}, nil
+}
+
+// Push adds one point.
+func (s *Incremental) Push(p geom.Vec) {
+	s.n++
+	if len(s.centers) < s.k {
+		// Bootstrap phase: keep the first k distinct points as centers and
+		// initialize the threshold from their closest pair.
+		for _, c := range s.centers {
+			if geom.Dist(c, p) == 0 {
+				return
+			}
+		}
+		s.centers = append(s.centers, p.Clone())
+		if len(s.centers) == s.k {
+			s.threshold = s.closestPair()
+		}
+		return
+	}
+	for {
+		// Covered within the current threshold?
+		best := math.Inf(1)
+		for _, c := range s.centers {
+			if d := geom.Dist(c, p); d < best {
+				best = d
+			}
+		}
+		if best <= 2*s.threshold {
+			return
+		}
+		if len(s.centers) < s.k {
+			s.centers = append(s.centers, p.Clone())
+			return
+		}
+		// Overflow: double the threshold and merge centers closer than it.
+		s.threshold *= 2
+		if s.threshold == 0 {
+			s.threshold = best / 4
+		}
+		merged := s.centers[:0]
+		for _, c := range s.centers {
+			keep := true
+			for _, m := range merged {
+				if geom.Dist(m, c) <= s.threshold {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				merged = append(merged, c)
+			}
+		}
+		s.centers = merged
+	}
+}
+
+func (s *Incremental) closestPair() float64 {
+	best := math.Inf(1)
+	for i := range s.centers {
+		for j := i + 1; j < len(s.centers); j++ {
+			if d := geom.Dist(s.centers[i], s.centers[j]); d < best {
+				best = d
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// Centers returns a copy of the current centers (≤ k).
+func (s *Incremental) Centers() []geom.Vec {
+	out := make([]geom.Vec, len(s.centers))
+	for i, c := range s.centers {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// N returns the number of points pushed.
+func (s *Incremental) N() int { return s.n }
+
+// Threshold exposes the current doubling threshold (for diagnostics).
+func (s *Incremental) Threshold() float64 { return s.threshold }
+
+// Uncertain1Center is a one-pass uncertain 1-center sketch: it feeds each
+// arriving point's expected point into a streaming ball. By Theorem 2.1's
+// argument composed with the 3/2 streaming MEB factor, the final center is
+// a constant-factor approximation of the optimal uncertain 1-center of the
+// stream.
+type Uncertain1Center struct {
+	ball Ball
+}
+
+// Push adds one uncertain point (its P̄ is computed in O(z)). Invalid points
+// return an error and are ignored.
+func (u *Uncertain1Center) Push(p uncertain.Point[geom.Vec]) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	u.ball.Push(uncertain.ExpectedPoint(p))
+	return nil
+}
+
+// Center returns the current center estimate. It panics before any Push.
+func (u *Uncertain1Center) Center() geom.Vec { return u.ball.Center() }
+
+// N returns the number of points pushed.
+func (u *Uncertain1Center) N() int { return u.ball.N() }
+
+// UncertainKCenter is the one-pass uncertain k-center sketch: expected-point
+// surrogates into the doubling algorithm.
+type UncertainKCenter struct {
+	inc *Incremental
+}
+
+// NewUncertainKCenter returns a k-center sketch for uncertain streams.
+func NewUncertainKCenter(k int) (*UncertainKCenter, error) {
+	inc, err := NewIncremental(k)
+	if err != nil {
+		return nil, err
+	}
+	return &UncertainKCenter{inc: inc}, nil
+}
+
+// Push adds one uncertain point.
+func (u *UncertainKCenter) Push(p uncertain.Point[geom.Vec]) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	u.inc.Push(uncertain.ExpectedPoint(p))
+	return nil
+}
+
+// Centers returns the current center set (≤ k).
+func (u *UncertainKCenter) Centers() []geom.Vec { return u.inc.Centers() }
+
+// N returns the number of points pushed.
+func (u *UncertainKCenter) N() int { return u.inc.N() }

@@ -1,0 +1,135 @@
+package uncertain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// ValidateSet validates every point of a set and that the set is nonempty.
+func ValidateSet[P any](pts []Point[P]) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("uncertain: empty point set")
+	}
+	for i, p := range pts {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CommonDim returns the shared coordinate dimension of every location of
+// every point in a Euclidean set, or an error when the set is empty or the
+// dimensions disagree (which would otherwise panic inside distance code).
+func CommonDim(pts []Point[geom.Vec]) (int, error) {
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("uncertain: empty point set")
+	}
+	dim := -1
+	for i, p := range pts {
+		for j, loc := range p.Locs {
+			if dim < 0 {
+				dim = loc.Dim()
+				continue
+			}
+			if loc.Dim() != dim {
+				return 0, fmt.Errorf("uncertain: point %d location %d has dimension %d, want %d", i, j, loc.Dim(), dim)
+			}
+		}
+	}
+	if dim <= 0 {
+		return 0, fmt.Errorf("uncertain: no locations in set")
+	}
+	return dim, nil
+}
+
+// MaxZ returns z = max_i z_i, the maximum number of locations of any point
+// (0 for an empty set).
+func MaxZ[P any](pts []Point[P]) int {
+	m := 0
+	for _, p := range pts {
+		if p.Z() > m {
+			m = p.Z()
+		}
+	}
+	return m
+}
+
+// TotalLocations returns N = Σ_i z_i.
+func TotalLocations[P any](pts []Point[P]) int {
+	n := 0
+	for _, p := range pts {
+		n += p.Z()
+	}
+	return n
+}
+
+// AllLocations returns the concatenation of every point's location list —
+// the natural candidate-center set for discrete algorithms.
+func AllLocations[P any](pts []Point[P]) []P {
+	out := make([]P, 0, TotalLocations(pts))
+	for _, p := range pts {
+		out = append(out, p.Locs...)
+	}
+	return out
+}
+
+// Realize samples one joint realization (one location per point).
+func Realize[P any](pts []Point[P], rng *rand.Rand) []P {
+	out := make([]P, len(pts))
+	for i, p := range pts {
+		out[i] = p.Sample(rng)
+	}
+	return out
+}
+
+// NumRealizations returns Π z_i, or (0, false) if the product exceeds limit.
+func NumRealizations[P any](pts []Point[P], limit int) (int, bool) {
+	n := 1
+	for _, p := range pts {
+		n *= p.Z()
+		if n > limit || n <= 0 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// ForEachRealization enumerates every joint realization R with its
+// probability prob(R) = Π prob(P̂_i), invoking fn(locs, prob) for each. The
+// locs slice is reused across calls; copy it if retained. It returns an error
+// if the joint support exceeds maxStates or the set is invalid. This is the
+// exponential-cost oracle used to cross-check the emax-based evaluators in
+// tests.
+func ForEachRealization[P any](pts []Point[P], maxStates int, fn func(locs []P, prob float64)) error {
+	if err := ValidateSet(pts); err != nil {
+		return err
+	}
+	if _, ok := NumRealizations(pts, maxStates); !ok {
+		return fmt.Errorf("uncertain: joint support exceeds %d states", maxStates)
+	}
+	idx := make([]int, len(pts))
+	locs := make([]P, len(pts))
+	for {
+		prob := 1.0
+		for i, p := range pts {
+			locs[i] = p.Locs[idx[i]]
+			prob *= p.Probs[idx[i]]
+		}
+		fn(locs, prob)
+		k := 0
+		for k < len(pts) {
+			idx[k]++
+			if idx[k] < pts[k].Z() {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == len(pts) {
+			return nil
+		}
+	}
+}

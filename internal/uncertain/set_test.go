@@ -1,0 +1,141 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func twoPointSet(t *testing.T) []Point[geom.Vec] {
+	t.Helper()
+	a, err := New([]geom.Vec{{0}, {1}}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]geom.Vec{{2}, {3}, {4}}, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Point[geom.Vec]{a, b}
+}
+
+func TestValidateSet(t *testing.T) {
+	pts := twoPointSet(t)
+	if err := ValidateSet(pts); err != nil {
+		t.Error(err)
+	}
+	if err := ValidateSet[geom.Vec](nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	pts[1].Probs[0] = 2
+	if err := ValidateSet(pts); err == nil {
+		t.Error("invalid member accepted")
+	}
+}
+
+func TestSetSizes(t *testing.T) {
+	pts := twoPointSet(t)
+	if MaxZ(pts) != 3 {
+		t.Errorf("MaxZ = %d", MaxZ(pts))
+	}
+	if TotalLocations(pts) != 5 {
+		t.Errorf("TotalLocations = %d", TotalLocations(pts))
+	}
+	if MaxZ[geom.Vec](nil) != 0 || TotalLocations[geom.Vec](nil) != 0 {
+		t.Error("empty-set sizes wrong")
+	}
+	locs := AllLocations(pts)
+	if len(locs) != 5 || locs[2][0] != 2 {
+		t.Errorf("AllLocations = %v", locs)
+	}
+}
+
+func TestRealize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := twoPointSet(t)
+	r := Realize(pts, rng)
+	if len(r) != 2 {
+		t.Fatalf("realization length %d", len(r))
+	}
+	if r[0][0] != 0 && r[0][0] != 1 {
+		t.Errorf("realization of point 0 = %v", r[0])
+	}
+}
+
+func TestNumRealizations(t *testing.T) {
+	pts := twoPointSet(t)
+	n, ok := NumRealizations(pts, 100)
+	if !ok || n != 6 {
+		t.Errorf("NumRealizations = %d, %v", n, ok)
+	}
+	if _, ok := NumRealizations(pts, 5); ok {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestForEachRealizationProbabilitiesSumToOne(t *testing.T) {
+	pts := twoPointSet(t)
+	var total float64
+	count := 0
+	err := ForEachRealization(pts, 100, func(locs []geom.Vec, prob float64) {
+		total += prob
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("visited %d realizations, want 6", count)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %g", total)
+	}
+}
+
+func TestForEachRealizationGuards(t *testing.T) {
+	pts := twoPointSet(t)
+	if err := ForEachRealization(pts, 5, func([]geom.Vec, float64) {}); err == nil {
+		t.Error("state limit not enforced")
+	}
+	if err := ForEachRealization[geom.Vec](nil, 10, func([]geom.Vec, float64) {}); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func BenchmarkExpectedPoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, z := range []int{2, 8, 32, 128} {
+		locs := make([]geom.Vec, z)
+		probs := make([]float64, z)
+		for j := range locs {
+			locs[j] = geom.Vec{rng.NormFloat64(), rng.NormFloat64()}
+			probs[j] = 1 / float64(z)
+		}
+		p, err := New(locs, probs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("z="+itoa(z), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ExpectedPoint(p)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

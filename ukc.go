@@ -1,0 +1,214 @@
+// Package ukc is the public API of this repository: a Go implementation of
+//
+//	Alipour & Jafari, "Improvements on the k-center problem for uncertain
+//	data", PODS 2018 (arXiv:1708.09180)
+//
+// — constant-factor approximation algorithms for the k-center problem when
+// every input point is a discrete probability distribution over possible
+// locations.
+//
+// # Model
+//
+// An uncertain point is a finite distribution over locations; a realization
+// draws one location per point independently. The cost of k centers is the
+// expected maximum distance over realizations, either with a fixed per-point
+// assignment (assigned versions) or with each realization snapping to its
+// nearest center (unassigned version). See DESIGN.md for the full problem
+// statement and the per-theorem guarantees.
+//
+// # Quick start
+//
+//	pts := []ukc.Point{ /* uncertain points in R^d */ }
+//	res, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{Rule: ukc.RuleEP})
+//	// res.Centers, res.Assign, res.Ecost (exact expected cost)
+//
+// The same pipelines run on arbitrary finite metric spaces (graph metrics)
+// via SolveMetric, with the 1-center surrogate replacing the expected point.
+//
+// The subpackages under internal/ hold the substrates (geometry, metric
+// spaces, graph shortest paths, the exact E[max] evaluator, deterministic
+// k-center solvers, brute-force oracles, workload generators and the
+// experiment harness); this package re-exports the surface a downstream
+// user needs.
+package ukc
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/geom"
+	"repro/internal/graphmetric"
+	"repro/internal/metricspace"
+	"repro/internal/onedim"
+	"repro/internal/uncertain"
+)
+
+// Vec is a point in R^d.
+type Vec = geom.Vec
+
+// Point is an uncertain point in Euclidean space: a discrete distribution
+// over location vectors.
+type Point = uncertain.Point[geom.Vec]
+
+// FinitePoint is an uncertain point over the vertices of a finite metric
+// space.
+type FinitePoint = uncertain.Point[int]
+
+// FiniteSpace is an explicit finite metric space (distance matrix).
+type FiniteSpace = metricspace.Finite
+
+// Graph is a weighted undirected graph whose shortest-path metric can serve
+// as the finite space of SolveMetric.
+type Graph = graphmetric.Graph
+
+// Result is the output of the solvers: centers, assignment, and exact
+// expected costs.
+type Result = core.Result[geom.Vec]
+
+// FiniteResult is Result over a finite metric space.
+type FiniteResult = core.Result[int]
+
+// Assignment rules (the paper's three restricted-assigned variants).
+const (
+	RuleED = core.RuleED // expected distance
+	RuleEP = core.RuleEP // expected point (Euclidean only)
+	RuleOC = core.RuleOC // 1-center
+)
+
+// Surrogate constructions.
+const (
+	SurrogateExpectedPoint = core.SurrogateExpectedPoint
+	SurrogateOneCenter     = core.SurrogateOneCenter
+)
+
+// Deterministic k-center solvers for the surrogate step.
+const (
+	SolverGonzalez      = core.SolverGonzalez
+	SolverEps           = core.SolverEps
+	SolverExactDiscrete = core.SolverExactDiscrete
+)
+
+// EuclideanOptions configures SolveEuclidean; the zero value is the paper's
+// O(nz + n log k) pipeline with the factor-4 guarantee (expected-point
+// surrogate, Gonzalez, EP assignment).
+type EuclideanOptions = core.EuclideanOptions
+
+// MetricOptions configures SolveMetric; the zero value is Gonzalez with the
+// ED assignment (factor 7+2ε against the unrestricted optimum).
+type MetricOptions = core.MetricOptions
+
+// NewPoint validates and constructs an uncertain point from locations and
+// probabilities (which must sum to 1).
+func NewPoint(locs []Vec, probs []float64) (Point, error) {
+	return uncertain.New(locs, probs)
+}
+
+// NewUniformPoint constructs an uncertain point uniform over locs.
+func NewUniformPoint(locs []Vec) (Point, error) {
+	return uncertain.NewUniform(locs)
+}
+
+// NewDeterministicPoint wraps a certain location as an uncertain point.
+func NewDeterministicPoint(loc Vec) Point {
+	return uncertain.NewDeterministic(loc)
+}
+
+// NewFinitePoint constructs an uncertain point over vertex indices.
+func NewFinitePoint(locs []int, probs []float64) (FinitePoint, error) {
+	return uncertain.New(locs, probs)
+}
+
+// NewGraph returns an empty weighted graph on n vertices; add edges with
+// AddEdge, then derive its metric with (*Graph).Metric.
+func NewGraph(n int) *Graph { return graphmetric.New(n) }
+
+// SolveEuclidean runs the paper's Euclidean surrogate pipeline
+// (Theorems 2.1–2.5). See EuclideanOptions for the factor/runtime menu.
+func SolveEuclidean(pts []Point, k int, opts EuclideanOptions) (Result, error) {
+	return core.SolveEuclidean(pts, k, opts)
+}
+
+// SolveMetric runs the general-metric pipeline (Theorems 2.6–2.7) over a
+// finite metric space; candidates is the center/surrogate search space,
+// typically space.Points().
+func SolveMetric(space *FiniteSpace, pts []FinitePoint, candidates []int, k int, opts MetricOptions) (FiniteResult, error) {
+	return core.SolveMetric[int](space, pts, candidates, k, opts)
+}
+
+// OneCenter returns the Theorem 2.1 uncertain 1-center: an expected point
+// with exact cost at most twice the optimum.
+func OneCenter(pts []Point) (Vec, float64, error) {
+	return core.OneCenterApprox(pts)
+}
+
+// Optimal1Center numerically computes the true optimal Euclidean uncertain
+// 1-center (the cost function is convex); tol is relative to the instance
+// diameter.
+func Optimal1Center(pts []Point, tol float64) (Vec, float64, error) {
+	return core.Optimal1CenterEuclidean(pts, tol)
+}
+
+// Ecost returns the exact assigned expected cost of (centers, assign).
+func Ecost(pts []Point, centers []Vec, assign []int) (float64, error) {
+	return core.EcostAssigned[geom.Vec](metricspace.Euclidean{}, pts, centers, assign)
+}
+
+// EcostUnassigned returns the exact unassigned expected cost of centers.
+func EcostUnassigned(pts []Point, centers []Vec) (float64, error) {
+	return core.EcostUnassigned[geom.Vec](metricspace.Euclidean{}, pts, centers)
+}
+
+// Assign computes the named assignment rule for a center set.
+func Assign(pts []Point, centers []Vec, rule core.Rule) ([]int, error) {
+	return core.AssignEuclidean(pts, centers, rule)
+}
+
+// ExpectedPoint returns P̄ = Σ p_j·P_j of one uncertain point.
+func ExpectedPoint(p Point) Vec { return uncertain.ExpectedPoint(p) }
+
+// PointOneCenter returns P̃, the weighted 1-median of a point's own
+// distribution (Weiszfeld).
+func PointOneCenter(p Point) Vec { return uncertain.OneCenterEuclidean(p) }
+
+// Solve1D solves the 1D max-of-expectations k-center exactly (certified
+// bisection), the Wang–Zhang setting behind Table 1 row 8.
+func Solve1D(pts []Point, k int, tol float64) (onedim.Result, error) {
+	return onedim.Solve(pts, k, tol)
+}
+
+// Solve1DEmax minimizes the paper's E[max] objective in 1D with a certified
+// lower bound.
+func Solve1DEmax(pts []Point, k int, tol float64) (onedim.Result, error) {
+	return onedim.SolveEmax(pts, k, tol)
+}
+
+// Baseline methods for comparison experiments.
+const (
+	BaselineMode           = baseline.MethodMode
+	BaselineSample         = baseline.MethodSample
+	BaselineMedianLocation = baseline.MethodMedianLocation
+)
+
+// BaselineOptions configures SolveBaseline.
+type BaselineOptions = baseline.Options
+
+// SolveBaseline runs one of the representative-point baselines.
+func SolveBaseline(pts []Point, k int, method baseline.Method, opts BaselineOptions) (Result, error) {
+	return baseline.Solve[geom.Vec](metricspace.Euclidean{}, pts, k, method, opts)
+}
+
+// WriteInstance serializes a Euclidean instance as JSON.
+func WriteInstance(w io.Writer, pts []Point) error {
+	return dataio.WriteEuclidean(w, pts)
+}
+
+// ReadInstance parses and validates a Euclidean instance.
+func ReadInstance(r io.Reader) ([]Point, error) {
+	return dataio.ReadEuclidean(r)
+}
+
+// SamplePoint draws one realization from an uncertain point.
+func SamplePoint(p Point, rng *rand.Rand) Vec { return p.Sample(rng) }

@@ -1,0 +1,69 @@
+package ukc_test
+
+import (
+	"testing"
+
+	ukc "repro"
+	"repro/internal/uncertain"
+)
+
+func TestFacadeSolveUnassigned(t *testing.T) {
+	pts := demoPoints(t)
+	cands := append(uncertain.AllLocations(pts), ukc.ExpectedPoint(pts[0]))
+	centers, cost, err := ukc.SolveUnassigned(pts, cands, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) == 0 || len(centers) > 3 {
+		t.Fatalf("centers = %d", len(centers))
+	}
+	// Reported cost matches re-evaluation.
+	got, err := ukc.EcostUnassigned(pts, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got - cost; d > 1e-9 || d < -1e-9 {
+		t.Errorf("reported %g, recomputed %g", cost, got)
+	}
+	// Optimizing the unassigned objective directly never loses to the
+	// pipeline's unassigned cost when given its centers' building blocks.
+	pipe, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > pipe.EcostUnassigned*1.5+1e-9 {
+		t.Errorf("local search %g vs pipeline unassigned %g", cost, pipe.EcostUnassigned)
+	}
+}
+
+func TestFacadeSolveUnassignedMetric(t *testing.T) {
+	g := ukc.NewGraph(5)
+	for v := 0; v < 4; v++ {
+		if err := g.AddEdge(v, v+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space, err := g.Metric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ukc.NewFinitePoint([]int{0, 1}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ukc.NewFinitePoint([]int{3, 4}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers, cost, err := ukc.SolveUnassignedMetric(space, []ukc.FinitePoint{p1, p2}, space.Points(), 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != 2 {
+		t.Fatalf("centers = %v", centers)
+	}
+	// Two centers on a 5-path with endpoints-pair points: cost ≤ 1.
+	if cost > 1+1e-9 {
+		t.Errorf("cost = %g, want ≤ 1", cost)
+	}
+}
