@@ -1,0 +1,38 @@
+# Tier-1 verification targets. `make ci` is the gate: vet + build + test +
+# race. The race target matters here: the solver's WithParallelism paths are
+# required to be race-clean AND bit-identical to sequential runs.
+
+GO ?= go
+
+.PHONY: all vet build test test-race bench bench-parallel examples ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (slow); bench-parallel records just the
+# sequential-vs-worker-pool trajectory (BENCH_*.json inputs).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+bench-parallel:
+	$(GO) test -bench 'Parallel|Batch' -benchmem -run '^$$' .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sensornet
+	$(GO) run ./examples/roadnetwork
+	$(GO) run ./examples/adversarial
+	$(GO) run ./examples/streaming
+
+ci: vet build test test-race

@@ -1,0 +1,431 @@
+package ukc_test
+
+// Tests for the generic Instance/Solver/Batch API: equivalence with the
+// deprecated flat functions, bit-identical parallelism, and context
+// cancellation semantics.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	ukc "repro"
+	"repro/internal/gen"
+	"repro/internal/graphmetric"
+)
+
+func euclideanInstance(t testing.TB, seed int64, n, z int) ukc.Instance[ukc.Vec] {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts, err := gen.GaussianClusters(rng, n, z, 2, 4, 1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ukc.NewEuclideanInstance(pts)
+}
+
+func finiteInstance(t testing.TB, seed int64, vertices, n, z int) ukc.Instance[int] {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, _, err := graphmetric.RandomGeometric(vertices, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := g.Metric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := gen.OnVerticesLocal(rng, space, n, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ukc.NewFiniteInstance(space, pts, nil)
+}
+
+// TestSolverMatchesDeprecatedEuclidean pins the redesign's compatibility
+// contract: the flat SolveEuclidean is a wrapper over Solver.Solve, so both
+// surfaces must return the same result bit for bit.
+func TestSolverMatchesDeprecatedEuclidean(t *testing.T) {
+	inst := euclideanInstance(t, 7, 40, 3)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts ukc.EuclideanOptions
+		sopt []ukc.Option
+	}{
+		{"default-ep", ukc.EuclideanOptions{Rule: ukc.RuleEP},
+			[]ukc.Option{ukc.WithRule(ukc.RuleEP)}},
+		{"ed-rule", ukc.EuclideanOptions{Rule: ukc.RuleED},
+			[]ukc.Option{ukc.WithRule(ukc.RuleED)}},
+		{"oc-surrogate", ukc.EuclideanOptions{Surrogate: ukc.SurrogateOneCenter, Rule: ukc.RuleOC},
+			[]ukc.Option{ukc.WithSurrogate(ukc.SurrogateOneCenter), ukc.WithRule(ukc.RuleOC)}},
+		{"exact-discrete", ukc.EuclideanOptions{Rule: ukc.RuleEP, Solver: ukc.SolverExactDiscrete},
+			[]ukc.Option{ukc.WithRule(ukc.RuleEP), ukc.WithCertainSolver(ukc.SolverExactDiscrete)}},
+		{"coreset", ukc.EuclideanOptions{Rule: ukc.RuleEP, CoresetEps: 0.3, CoresetMaxSize: 20},
+			[]ukc.Option{ukc.WithRule(ukc.RuleEP), ukc.WithCoreset(0.3, 20)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old, err := ukc.SolveEuclidean(inst.Points, 3, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ukc.NewSolver[ukc.Vec](tc.sopt...).Solve(ctx, inst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(old, res) {
+				t.Fatalf("flat and Solver results differ:\nflat:   %+v\nsolver: %+v", old, res)
+			}
+		})
+	}
+}
+
+// TestSolverMatchesDeprecatedMetric is the finite-metric counterpart.
+func TestSolverMatchesDeprecatedMetric(t *testing.T) {
+	inst := finiteInstance(t, 9, 30, 20, 3)
+	space := inst.Space.(*ukc.FiniteSpace)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		opts ukc.MetricOptions
+		sopt []ukc.Option
+	}{
+		{"ed", ukc.MetricOptions{Rule: ukc.RuleED}, []ukc.Option{ukc.WithRule(ukc.RuleED)}},
+		{"oc", ukc.MetricOptions{Rule: ukc.RuleOC}, []ukc.Option{ukc.WithRule(ukc.RuleOC)}},
+		{"exact", ukc.MetricOptions{Rule: ukc.RuleOC, Solver: ukc.SolverExactDiscrete},
+			[]ukc.Option{ukc.WithRule(ukc.RuleOC), ukc.WithCertainSolver(ukc.SolverExactDiscrete)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			old, err := ukc.SolveMetric(space, inst.Points, space.Points(), 3, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ukc.NewSolver[int](tc.sopt...).Solve(ctx, inst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(old, res) {
+				t.Fatalf("flat and Solver results differ:\nflat:   %+v\nsolver: %+v", old, res)
+			}
+		})
+	}
+}
+
+// TestParallelismBitIdentical is the WithParallelism contract: for n ∈
+// {1, 4, 8} the centers, assignments and costs must be EXACTLY equal —
+// not approximately — on fixed-seed instances, across spaces and rules.
+func TestParallelismBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	t.Run("euclidean", func(t *testing.T) {
+		inst := euclideanInstance(t, 11, 80, 4)
+		for _, k := range []int{2, 5} {
+			for _, rule := range []ukc.Rule{ukc.RuleED, ukc.RuleEP, ukc.RuleOC} {
+				base, err := ukc.NewSolver[ukc.Vec](ukc.WithRule(rule), ukc.WithParallelism(1)).Solve(ctx, inst, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range []int{4, 8} {
+					res, err := ukc.NewSolver[ukc.Vec](ukc.WithRule(rule), ukc.WithParallelism(par)).Solve(ctx, inst, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(base, res) {
+						t.Fatalf("k=%d rule=%v parallelism=%d deviates from sequential", k, rule, par)
+					}
+				}
+			}
+		}
+	})
+	t.Run("finite", func(t *testing.T) {
+		inst := finiteInstance(t, 13, 40, 25, 3)
+		base, err := ukc.NewSolver[int](ukc.WithParallelism(1)).Solve(ctx, inst, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{4, 8} {
+			res, err := ukc.NewSolver[int](ukc.WithParallelism(par)).Solve(ctx, inst, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, res) {
+				t.Fatalf("parallelism=%d deviates from sequential", par)
+			}
+		}
+	})
+	t.Run("unassigned-local-search", func(t *testing.T) {
+		inst := euclideanInstance(t, 17, 12, 3)
+		var wantC []ukc.Vec
+		var wantCost float64
+		for i, par := range []int{1, 4, 8} {
+			c, cost, err := ukc.NewSolver[ukc.Vec](ukc.WithParallelism(par)).SolveUnassigned(ctx, inst, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				wantC, wantCost = c, cost
+				continue
+			}
+			if cost != wantCost || !reflect.DeepEqual(wantC, c) {
+				t.Fatalf("parallelism=%d: got cost %v centers %v, want %v %v", par, cost, c, wantCost, wantC)
+			}
+		}
+	})
+	t.Run("kmedian", func(t *testing.T) {
+		inst := euclideanInstance(t, 19, 15, 3)
+		bc, ba, bcost, err := ukc.NewSolver[ukc.Vec](ukc.WithParallelism(1)).SolveKMedian(ctx, inst, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{4, 8} {
+			c, a, cost, err := ukc.NewSolver[ukc.Vec](ukc.WithParallelism(par)).SolveKMedian(ctx, inst, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost != bcost || !reflect.DeepEqual(bc, c) || !reflect.DeepEqual(ba, a) {
+				t.Fatalf("parallelism=%d deviates from sequential", par)
+			}
+		}
+	})
+}
+
+// TestContextCancellation: every solve entry point must notice a canceled
+// context and surface ctx.Err().
+func TestContextCancellation(t *testing.T) {
+	inst := euclideanInstance(t, 23, 60, 4)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	solver := ukc.NewSolver[ukc.Vec]()
+
+	if _, err := solver.Solve(canceled, inst, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve: got %v, want context.Canceled", err)
+	}
+	if _, _, err := solver.SolveUnassigned(canceled, inst, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveUnassigned: got %v, want context.Canceled", err)
+	}
+	if _, _, _, err := solver.SolveKMedian(canceled, inst, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveKMedian: got %v, want context.Canceled", err)
+	}
+	if _, _, _, _, err := solver.SolveKMeans(canceled, inst, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveKMeans: got %v, want context.Canceled", err)
+	}
+	if _, err := solver.Ecost(canceled, inst, []ukc.Vec{{0, 0}}, make([]int, inst.N())); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Ecost: got %v, want context.Canceled", err)
+	}
+	if _, err := solver.EcostUnassigned(canceled, inst, []ukc.Vec{{0, 0}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EcostUnassigned: got %v, want context.Canceled", err)
+	}
+}
+
+// TestContextCancellationMidSolve arms a deadline that expires while a
+// large local search is grinding through its swap neighborhood; the solve
+// must abort with ctx.Err() long before running to completion.
+func TestContextCancellationMidSolve(t *testing.T) {
+	inst := euclideanInstance(t, 29, 60, 4) // 240 candidate locations
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := ukc.NewSolver[ukc.Vec]().SolveUnassigned(ctx, inst, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, not mid-solve", elapsed)
+	}
+}
+
+// TestBatch: the batch layer must reproduce solo solves in order, isolate
+// per-item failures, and drain on cancellation.
+func TestBatch(t *testing.T) {
+	ctx := context.Background()
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP))
+	batch, err := ukc.NewBatch(solver, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	insts := make([]ukc.Instance[ukc.Vec], 6)
+	for i := range insts {
+		insts[i] = euclideanInstance(t, int64(100+i), 20+3*i, 3)
+	}
+	results := batch.SolveAll(ctx, insts, 3)
+	if len(results) != len(insts) {
+		t.Fatalf("got %d results for %d instances", len(results), len(insts))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		solo, err := solver.Solve(ctx, insts[i], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solo, r.Result) {
+			t.Fatalf("item %d: batch result differs from solo solve", i)
+		}
+	}
+
+	t.Run("error-isolation", func(t *testing.T) {
+		items := []ukc.BatchItem[ukc.Vec]{
+			{Instance: insts[0], K: 3},
+			{Instance: insts[1], K: 0}, // invalid k: must fail alone
+			{Instance: insts[2], K: 3},
+		}
+		res := batch.Solve(ctx, items)
+		if res[0].Err != nil || res[2].Err != nil {
+			t.Fatalf("healthy items failed: %v, %v", res[0].Err, res[2].Err)
+		}
+		if res[1].Err == nil {
+			t.Fatal("k=0 item did not fail")
+		}
+	})
+
+	t.Run("canceled", func(t *testing.T) {
+		canceled, cancel := context.WithCancel(ctx)
+		cancel()
+		res := batch.SolveAll(canceled, insts, 3)
+		for i, r := range res {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("item %d: got %v, want context.Canceled", i, r.Err)
+			}
+		}
+	})
+}
+
+// TestSolverSpaceDefaults: the zero-option solver must pick the paper's
+// recommended pipeline per space — EP/expected-point on Euclidean
+// instances, ED/1-center on finite ones — and both must go through the one
+// generic pipeline.
+func TestSolverSpaceDefaults(t *testing.T) {
+	ctx := context.Background()
+
+	eInst := euclideanInstance(t, 31, 30, 3)
+	eRes, err := ukc.NewSolver[ukc.Vec]().Solve(ctx, eInst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eWant, err := ukc.SolveEuclidean(eInst.Points, 3, ukc.EuclideanOptions{
+		Surrogate: ukc.SurrogateExpectedPoint, Rule: ukc.RuleEP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eWant, eRes) {
+		t.Fatal("Euclidean default is not the EP/expected-point pipeline")
+	}
+
+	fInst := finiteInstance(t, 37, 25, 15, 3)
+	fRes, err := ukc.NewSolver[int]().Solve(ctx, fInst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSpace := fInst.Space.(*ukc.FiniteSpace)
+	fWant, err := ukc.SolveMetric(fSpace, fInst.Points, fSpace.Points(), 3, ukc.MetricOptions{Rule: ukc.RuleED})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fWant, fRes) {
+		t.Fatal("finite default is not the ED/1-center pipeline")
+	}
+}
+
+// TestInstanceConstructors covers the instance helpers and validation.
+func TestInstanceConstructors(t *testing.T) {
+	inst := euclideanInstance(t, 41, 10, 3)
+	if !inst.IsEuclidean() {
+		t.Fatal("Euclidean instance not recognized")
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 10 || inst.MaxZ() != 3 || inst.TotalLocations() != 30 {
+		t.Fatalf("N/MaxZ/TotalLocations = %d/%d/%d", inst.N(), inst.MaxZ(), inst.TotalLocations())
+	}
+
+	g := ukc.NewGraph(4)
+	for i := 0; i < 4; i++ {
+		if err := g.AddEdge(i, (i+1)%4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := ukc.NewFinitePoint([]int{0, 2}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gInst, err := ukc.NewGraphInstance(g, []ukc.FinitePoint{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gInst.IsEuclidean() {
+		t.Fatal("graph instance claims to be Euclidean")
+	}
+	if len(gInst.Candidates) != 4 {
+		t.Fatalf("graph instance candidates = %d, want all 4 vertices", len(gInst.Candidates))
+	}
+	if _, err := ukc.NewSolver[int]().Solve(context.Background(), gInst, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ukc.Instance[ukc.Vec]{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty instance validated")
+	}
+}
+
+// TestSolveKMeansRequiresEuclidean pins the one capability that cannot be
+// generic: expected points need linear structure.
+func TestSolveKMeansRequiresEuclidean(t *testing.T) {
+	inst := finiteInstance(t, 43, 15, 10, 2)
+	if _, _, _, _, err := ukc.NewSolver[int]().SolveKMeans(context.Background(), inst, 2); err == nil {
+		t.Fatal("SolveKMeans accepted a finite-metric instance")
+	}
+}
+
+// TestSolveKMeansSeeded: WithSeed must make the k-means++ seeding
+// reproducible through the Solver API.
+func TestSolveKMeansSeeded(t *testing.T) {
+	inst := euclideanInstance(t, 47, 40, 3)
+	ctx := context.Background()
+	c1, a1, cost1, floor1, err := ukc.NewSolver[ukc.Vec](ukc.WithSeed(5)).SolveKMeans(ctx, inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, a2, cost2, floor2, err := ukc.NewSolver[ukc.Vec](ukc.WithSeed(5)).SolveKMeans(ctx, inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost1 != cost2 || floor1 != floor2 || !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different k-means results")
+	}
+}
+
+// TestExactDiscreteEpsCertificate: restricting centers to a discrete
+// candidate set certifies ε = 0 only in a finite space; in continuous
+// Euclidean space it is at best a 2-approximation (ε = 1), with or without
+// an explicit candidate set.
+func TestExactDiscreteEpsCertificate(t *testing.T) {
+	ctx := context.Background()
+	eInst := euclideanInstance(t, 53, 15, 3)
+	withCands := ukc.NewInstance[ukc.Vec](ukc.Euclidean{}, eInst.Points, eInst.Points[0].Locs)
+	for name, inst := range map[string]ukc.Instance[ukc.Vec]{"no-candidates": eInst, "explicit-candidates": withCands} {
+		res, err := ukc.NewSolver[ukc.Vec](ukc.WithCertainSolver(ukc.SolverExactDiscrete)).Solve(ctx, inst, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EffectiveEps != 1 {
+			t.Fatalf("%s: Euclidean exact-discrete certified eps=%v, want 1", name, res.EffectiveEps)
+		}
+	}
+
+	fInst := finiteInstance(t, 59, 20, 12, 2)
+	res, err := ukc.NewSolver[int](ukc.WithCertainSolver(ukc.SolverExactDiscrete)).Solve(ctx, fInst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveEps != 0 {
+		t.Fatalf("finite exact-discrete over all points certified eps=%v, want 0", res.EffectiveEps)
+	}
+}

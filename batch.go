@@ -1,0 +1,87 @@
+package ukc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// BatchItem is one unit of batch work: an instance and its k.
+type BatchItem[P any] struct {
+	Instance Instance[P]
+	K        int
+}
+
+// BatchResult pairs one item's solve result with its error; exactly one of
+// the two is meaningful. Results keep the order of the submitted items.
+type BatchResult[P any] struct {
+	Result ResultOf[P]
+	Err    error
+}
+
+// Batch solves many instances concurrently on a shared bounded worker pool —
+// the first serving-scenario primitive: a request handler or offline job
+// submits a slice of instances and gets per-instance results and errors
+// back in order, with a hard cap on concurrent solves and cooperative
+// cancellation of everything in flight.
+//
+// The pool bounds INSTANCE-level concurrency; combine with the solver's own
+// WithParallelism to split cores between inter- and intra-instance
+// parallelism (e.g. 4 batch workers × 2 solve workers on 8 cores).
+type Batch[P any] struct {
+	solver  *Solver[P]
+	workers int
+}
+
+// NewBatch wraps a solver in a batch layer with the given worker count,
+// following the same convention as WithParallelism: 0 or 1 drains items
+// serially, n > 1 uses n workers, and a negative n uses one worker per
+// logical CPU.
+func NewBatch[P any](solver *Solver[P], workers int) (*Batch[P], error) {
+	if solver == nil {
+		return nil, fmt.Errorf("ukc: NewBatch with nil solver")
+	}
+	return &Batch[P]{solver: solver, workers: core.Options{Parallelism: workers}.Workers()}, nil
+}
+
+// Workers reports the pool size.
+func (b *Batch[P]) Workers() int { return b.workers }
+
+// Solve runs Solver.Solve on every item, at most Workers() at a time, and
+// returns one BatchResult per item in submission order. Item failures are
+// isolated: one bad instance reports its own error without affecting the
+// rest. When ctx is canceled, in-flight solves abort mid-solve and every
+// unfinished item reports ctx.Err().
+func (b *Batch[P]) Solve(ctx context.Context, items []BatchItem[P]) []BatchResult[P] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult[P], len(items))
+	done := make([]bool, len(items))
+	// par.For's error is ctx.Err(); per-item errors land in out[i].Err.
+	_ = par.For(ctx, len(items), b.workers, func(i int) {
+		res, err := b.solver.Solve(ctx, items[i].Instance, items[i].K)
+		out[i] = BatchResult[P]{Result: res, Err: err}
+		done[i] = true
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if !done[i] {
+				out[i].Err = err
+			}
+		}
+	}
+	return out
+}
+
+// SolveAll is Solve for the common serving case of one k across many
+// instances.
+func (b *Batch[P]) SolveAll(ctx context.Context, insts []Instance[P], k int) []BatchResult[P] {
+	items := make([]BatchItem[P], len(insts))
+	for i, in := range insts {
+		items[i] = BatchItem[P]{Instance: in, K: k}
+	}
+	return b.Solve(ctx, items)
+}

@@ -6,6 +6,7 @@ package ukc_test
 // baseline comparison (C1). EXPERIMENTS.md records representative outputs.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -359,6 +360,107 @@ func BenchmarkStreamPush(b *testing.B) {
 		if err := sk.Push(pts[i%len(pts)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEcostParallel — sequential vs worker-pool exact E-cost
+// evaluation (the assigned expected-max sweep) across n. The parallel path
+// is bit-identical to the sequential one; this records the speedup curve
+// for BENCH_*.json.
+func BenchmarkEcostParallel(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{500, 2000, 8000} {
+		pts := benchEuclidean(b, n, 5, 2)
+		inst := ukc.NewEuclideanInstance(pts)
+		res, err := ukc.NewSolver[ukc.Vec]().Solve(ctx, inst, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			solver := ukc.NewSolver[ukc.Vec](ukc.WithParallelism(workers))
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.Ecost(ctx, inst, res.Centers, res.Assign); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSolveParallel — full unified-pipeline solves across an n/k grid,
+// sequential vs worker pool: surrogate construction, assignment and both
+// exact cost evaluations all run on the pool.
+func BenchmarkSolveParallel(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{1000, 4000} {
+		pts := benchEuclidean(b, n, 4, 2)
+		inst := ukc.NewEuclideanInstance(pts)
+		for _, k := range []int{4, 16} {
+			for _, workers := range []int{1, 8} {
+				solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP), ukc.WithParallelism(workers))
+				b.Run(fmt.Sprintf("n=%d/k=%d/workers=%d", n, k, workers), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := solver.Solve(ctx, inst, k); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkUnassignedParallel — the local-search neighborhood scan is the
+// most expensive loop in the repository (one exact O(N log N) evaluation
+// per candidate per swap); this measures the worker-pool speedup.
+func BenchmarkUnassignedParallel(b *testing.B) {
+	ctx := context.Background()
+	pts := benchEuclidean(b, 24, 3, 2)
+	inst := ukc.NewEuclideanInstance(pts)
+	for _, workers := range []int{1, 4, 8} {
+		solver := ukc.NewSolver[ukc.Vec](ukc.WithParallelism(workers), ukc.WithMaxIter(3))
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.SolveUnassigned(ctx, inst, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchThroughput — the serving primitive: many instances through
+// one shared bounded pool vs a sequential drain of the same work.
+func BenchmarkBatchThroughput(b *testing.B) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	insts := make([]ukc.Instance[ukc.Vec], 16)
+	for i := range insts {
+		pts, err := gen.GaussianClusters(rng, 200, 4, 2, 4, 1, 0.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts[i] = ukc.NewEuclideanInstance(pts)
+	}
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP))
+	for _, workers := range []int{1, 4, 8} {
+		batch, err := ukc.NewBatch(solver, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range batch.SolveAll(ctx, insts, 4) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

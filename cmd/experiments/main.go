@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -29,15 +31,20 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids: e1,rows,e8,e9,c1,a1,a2,a3,r2 or all")
-		quick  = flag.Bool("quick", false, "small instances (CI-sized)")
-		trials = flag.Int("trials", 0, "trials per cell (0 = default)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csvdir = flag.String("csvdir", "", "also write each table as CSV under this directory")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids: e1,rows,e8,e9,c1,a1,a2,a3,r2 or all")
+		quick    = flag.Bool("quick", false, "small instances (CI-sized)")
+		trials   = flag.Int("trials", 0, "trials per cell (0 = default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvdir   = flag.String("csvdir", "", "also write each table as CSV under this directory")
+		parallel = flag.Int("parallel", 1, "solver worker count for the hot loops (<0 = all CPUs); results are bit-identical")
 	)
 	flag.Parse()
 
-	cfg := harness.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	// Ctrl-C aborts the current experiment mid-solve through the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := harness.Config{Seed: *seed, Trials: *trials, Quick: *quick, Ctx: ctx, Parallelism: *parallel}
 	runners := map[string]func(harness.Config) (*harness.Report, error){
 		"e1":   harness.RunE1,
 		"rows": harness.RunEuclideanRows,

@@ -3,19 +3,28 @@
 // schema) and prints the chosen centers, the assignment rule used, and the
 // exact expected cost.
 //
+// It is a thin shell over the Instance/Solver API: both instance kinds run
+// the same generic pipeline, and -parallel fans the hot loops out over a
+// worker pool (the result is bit-identical to the sequential run). Ctrl-C
+// cancels a solve via context wherever the pipeline checks it — inside the
+// surrogate/assignment/cost loops and between stages; a long-running
+// certain-solver stage (-solver exact or eps) finishes its stage first.
+//
 // Usage:
 //
 //	ukcenter -input instance.json -k 3 -rule ep -solver gonzalez
-//	ukcenter -input graph.json -kind finite -k 2 -rule oc
+//	ukcenter -input graph.json -kind finite -k 2 -rule oc -parallel 8
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/core"
+	ukc "repro"
 	"repro/internal/dataio"
 )
 
@@ -31,6 +40,7 @@ type output struct {
 	K               int         `json:"k"`
 	Rule            string      `json:"rule"`
 	Solver          string      `json:"solver"`
+	Parallel        int         `json:"parallel,omitempty"`
 	Centers         interface{} `json:"centers"`
 	Assign          []int       `json:"assign"`
 	Ecost           float64     `json:"ecost"`
@@ -41,12 +51,13 @@ type output struct {
 
 func run() error {
 	var (
-		input  = flag.String("input", "", "instance JSON file (required)")
-		kind   = flag.String("kind", "euclidean", "euclidean|finite")
-		k      = flag.Int("k", 3, "number of centers")
-		rule   = flag.String("rule", "ep", "assignment rule: ed|ep|oc")
-		solver = flag.String("solver", "gonzalez", "certain solver: gonzalez|eps|exact")
-		eps    = flag.Float64("eps", 0.5, "epsilon for -solver eps")
+		input    = flag.String("input", "", "instance JSON file (required)")
+		kind     = flag.String("kind", "euclidean", "euclidean|finite")
+		k        = flag.Int("k", 3, "number of centers")
+		rule     = flag.String("rule", "ep", "assignment rule: ed|ep|oc")
+		solver   = flag.String("solver", "gonzalez", "certain solver: gonzalez|eps|exact")
+		eps      = flag.Float64("eps", 0.5, "epsilon for -solver eps")
+		parallel = flag.Int("parallel", 1, "worker count for the hot loops (<0 = all CPUs)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -67,6 +78,16 @@ func run() error {
 		return err
 	}
 
+	// Ctrl-C aborts a long solve mid-flight through the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []ukc.Option{
+		ukc.WithRule(r),
+		ukc.WithCertainSolver(s),
+		ukc.WithEps(*eps),
+		ukc.WithParallelism(*parallel),
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 
@@ -76,9 +97,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := core.SolveEuclidean(pts, *k, core.EuclideanOptions{
-			Rule: r, Solver: s, Eps: *eps,
-		})
+		res, err := ukc.NewSolver[ukc.Vec](opts...).Solve(ctx, ukc.NewEuclideanInstance(pts), *k)
 		if err != nil {
 			return err
 		}
@@ -87,7 +106,7 @@ func run() error {
 			centers[i] = []float64(c)
 		}
 		return enc.Encode(output{
-			Kind: *kind, K: *k, Rule: r.String(), Solver: s.String(),
+			Kind: *kind, K: *k, Rule: r.String(), Solver: s.String(), Parallel: *parallel,
 			Centers: centers, Assign: res.Assign, Ecost: res.Ecost,
 			EcostUnassigned: res.EcostUnassigned, CertainRadius: res.CertainRadius,
 			EffectiveEps: res.EffectiveEps,
@@ -97,17 +116,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if s == core.SolverEps {
+		if s == ukc.SolverEps {
 			return fmt.Errorf("-solver eps requires a Euclidean instance; use gonzalez or exact")
 		}
-		res, err := core.SolveMetric[int](space, pts, space.Points(), *k, core.MetricOptions{
-			Rule: r, Solver: s,
-		})
+		res, err := ukc.NewSolver[int](opts...).Solve(ctx, ukc.NewFiniteInstance(space, pts, nil), *k)
 		if err != nil {
 			return err
 		}
 		return enc.Encode(output{
-			Kind: *kind, K: *k, Rule: r.String(), Solver: s.String(),
+			Kind: *kind, K: *k, Rule: r.String(), Solver: s.String(), Parallel: *parallel,
 			Centers: res.Centers, Assign: res.Assign, Ecost: res.Ecost,
 			EcostUnassigned: res.EcostUnassigned, CertainRadius: res.CertainRadius,
 			EffectiveEps: res.EffectiveEps,
@@ -117,27 +134,27 @@ func run() error {
 	}
 }
 
-func parseRule(s string) (core.Rule, error) {
+func parseRule(s string) (ukc.Rule, error) {
 	switch s {
 	case "ed":
-		return core.RuleED, nil
+		return ukc.RuleED, nil
 	case "ep":
-		return core.RuleEP, nil
+		return ukc.RuleEP, nil
 	case "oc":
-		return core.RuleOC, nil
+		return ukc.RuleOC, nil
 	default:
 		return 0, fmt.Errorf("unknown rule %q (want ed|ep|oc)", s)
 	}
 }
 
-func parseSolver(s string) (core.Solver, error) {
+func parseSolver(s string) (ukc.CertainSolver, error) {
 	switch s {
 	case "gonzalez":
-		return core.SolverGonzalez, nil
+		return ukc.SolverGonzalez, nil
 	case "eps":
-		return core.SolverEps, nil
+		return ukc.SolverEps, nil
 	case "exact":
-		return core.SolverExactDiscrete, nil
+		return ukc.SolverExactDiscrete, nil
 	default:
 		return 0, fmt.Errorf("unknown solver %q (want gonzalez|eps|exact)", s)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -45,20 +46,23 @@ func main() {
 		pts[i] = p
 	}
 
+	ctx := context.Background()
+	inst := ukc.NewEuclideanInstance(pts)
+
 	type row struct {
 		name string
 		run  func() (ukc.Result, error)
 	}
 	rows := []row{
 		{"expected point surrogate (EP rule)", func() (ukc.Result, error) {
-			return ukc.SolveEuclidean(pts, k, ukc.EuclideanOptions{
-				Surrogate: ukc.SurrogateExpectedPoint, Rule: ukc.RuleEP,
-			})
+			return ukc.NewSolver[ukc.Vec](
+				ukc.WithSurrogate(ukc.SurrogateExpectedPoint), ukc.WithRule(ukc.RuleEP),
+			).Solve(ctx, inst, k)
 		}},
 		{"1-center surrogate (OC rule)", func() (ukc.Result, error) {
-			return ukc.SolveEuclidean(pts, k, ukc.EuclideanOptions{
-				Surrogate: ukc.SurrogateOneCenter, Rule: ukc.RuleOC,
-			})
+			return ukc.NewSolver[ukc.Vec](
+				ukc.WithSurrogate(ukc.SurrogateOneCenter), ukc.WithRule(ukc.RuleOC),
+			).Solve(ctx, inst, k)
 		}},
 		{"mode baseline", func() (ukc.Result, error) {
 			return ukc.SolveBaseline(pts, k, ukc.BaselineMode, ukc.BaselineOptions{})

@@ -1,10 +1,12 @@
 // Quickstart: build a handful of uncertain points, solve the k-center
-// problem with the paper's recommended pipeline, and inspect the result.
+// problem with the paper's recommended pipeline through the Instance/Solver
+// API, and inspect the result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Three "measurement clusters": each uncertain point is a sensor whose
 	// position is known only up to a few candidate readings.
 	mk := func(locs []ukc.Vec, probs []float64) ukc.Point {
@@ -29,11 +33,14 @@ func main() {
 		mk([]ukc.Vec{{10.0, 0.0}, {10.2, 0.3}}, []float64{0.7, 0.3}),
 		mk([]ukc.Vec{{9.9, 0.2}, {10.1, -0.1}}, []float64{0.5, 0.5}),
 	}
+	inst := ukc.NewEuclideanInstance(pts)
 
-	// The zero-value options are the paper's O(nz + n log k) pipeline:
-	// expected-point surrogates + Gonzalez + expected-point assignment,
-	// guaranteeing cost ≤ 4 × the restricted-assigned optimum.
-	res, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{})
+	// The zero-option solver is the paper's O(nz + n log k) pipeline on a
+	// Euclidean instance: expected-point surrogates + Gonzalez +
+	// expected-point assignment, guaranteeing cost ≤ 4 × the
+	// restricted-assigned optimum.
+	solver := ukc.NewSolver[ukc.Vec]()
+	res, err := solver.Solve(ctx, inst, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,12 +53,13 @@ func main() {
 	fmt.Printf("exact expected cost (assigned):   %.4f\n", res.Ecost)
 	fmt.Printf("exact expected cost (unassigned): %.4f\n", res.EcostUnassigned)
 
-	// The (1+ε) solver trades time for a 3+ε guarantee.
-	precise, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{
-		Rule:   ukc.RuleEP,
-		Solver: ukc.SolverEps,
-		Eps:    0.25,
-	})
+	// The (1+ε) solver trades time for a 3+ε guarantee; options configure a
+	// solver once and it is reusable across instances and goroutines.
+	precise, err := ukc.NewSolver[ukc.Vec](
+		ukc.WithRule(ukc.RuleEP),
+		ukc.WithCertainSolver(ukc.SolverEps),
+		ukc.WithEps(0.25),
+	).Solve(ctx, inst, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

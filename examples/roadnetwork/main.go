@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,6 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Vehicles: last GPS fix snapped to 3 nearby intersections with
 	// confidence weights.
@@ -81,27 +83,31 @@ func main() {
 		pts[v] = p
 	}
 
+	// The generic Instance/Solver API: the SAME pipeline that serves
+	// Euclidean instances runs here over the road metric — only the
+	// surrogate construction changes (no expected points exist on a graph,
+	// so the solver defaults to the 1-center surrogate P̃).
+	inst := ukc.NewFiniteInstance(space, pts, nil)
+
 	// Paper pipeline with the 1-center rule: factor 5+2ε vs the unrestricted
 	// optimum (ε = 1 for Gonzalez here).
-	oc, err := ukc.SolveMetric(space, pts, space.Points(), depots, ukc.MetricOptions{
-		Rule: ukc.RuleOC,
-	})
+	oc, err := ukc.NewSolver[int](ukc.WithRule(ukc.RuleOC)).Solve(ctx, inst, depots)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Same pipeline, expected-distance assignment (factor 7+2ε).
-	ed, err := ukc.SolveMetric(space, pts, space.Points(), depots, ukc.MetricOptions{
-		Rule: ukc.RuleED,
-	})
+	ed, err := ukc.NewSolver[int](ukc.WithRule(ukc.RuleED)).Solve(ctx, inst, depots)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Exact certain k-center on the surrogates (ε = 0 — the best the
-	// reduction can do on a finite space).
-	exact, err := ukc.SolveMetric(space, pts, space.Points(), depots, ukc.MetricOptions{
-		Rule:   ukc.RuleOC,
-		Solver: ukc.SolverExactDiscrete,
-	})
+	// reduction can do on a finite space), with the hot loops on 4 workers
+	// (bit-identical to the sequential run).
+	exact, err := ukc.NewSolver[int](
+		ukc.WithRule(ukc.RuleOC),
+		ukc.WithCertainSolver(ukc.SolverExactDiscrete),
+		ukc.WithParallelism(4),
+	).Solve(ctx, inst, depots)
 	if err != nil {
 		log.Fatal(err)
 	}

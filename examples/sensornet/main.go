@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,8 +61,11 @@ func main() {
 		pts[i] = p
 	}
 
-	// Paper pipeline: expected-point surrogates, factor-4 guarantee.
-	paper, err := ukc.SolveEuclidean(pts, numGateways, ukc.EuclideanOptions{Rule: ukc.RuleEP})
+	// Paper pipeline: expected-point surrogates, factor-4 guarantee, with
+	// the hot loops (surrogates, assignment, exact costs) on 4 workers —
+	// bit-identical to the sequential run.
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP), ukc.WithParallelism(4))
+	paper, err := solver.Solve(context.Background(), ukc.NewEuclideanInstance(pts), numGateways)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,6 +28,7 @@ func main() {
 		readings  = 3
 	)
 
+	ctx := context.Background()
 	sketch, err := ukc.NewStreamKCenter(k)
 	if err != nil {
 		log.Fatal(err)
@@ -37,6 +39,7 @@ func main() {
 	// noisy candidate positions.
 	sources := [][2]float64{{0, 0}, {50, 10}, {20, 60}, {70, 70}}
 	all := make([]ukc.Point, 0, streamLen) // retained ONLY to evaluate at the end
+	fed := 0                               // prefix of `all` already fed to the 1-center sketch
 	for i := 0; i < streamLen; i++ {
 		s := sources[rng.Intn(len(sources))]
 		// Sources drift slowly.
@@ -55,22 +58,36 @@ func main() {
 		if err := sketch.Push(p); err != nil {
 			log.Fatal(err)
 		}
-		if err := one.Push(p); err != nil {
-			log.Fatal(err)
-		}
 		all = append(all, p)
 
 		if (i+1)%1000 == 0 {
+			// The 1-center sketch absorbs the stream in ctx-cancelable
+			// batches (PushSet); the k-center sketch above shows the
+			// per-event path.
+			if err := one.PushSet(ctx, all[fed:]); err != nil {
+				log.Fatal(err)
+			}
+			fed = len(all)
 			fmt.Printf("after %5d events: %d centers held\n", i+1, len(sketch.Centers()))
 		}
 	}
+	// Flush the tail batch so every event reaches the 1-center sketch.
+	if err := one.PushSet(ctx, all[fed:]); err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate the sketch against the batch pipeline with the Solver API;
+	// the worker pool speeds up the exact cost evaluation on this 5000-point
+	// stream without changing a single bit of the result.
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP), ukc.WithParallelism(-1))
+	inst := ukc.NewEuclideanInstance(all)
 
 	streamCenters := sketch.Centers()
-	streamCost, err := ukc.EcostUnassigned(all, streamCenters)
+	streamCost, err := solver.EcostUnassigned(ctx, inst, streamCenters)
 	if err != nil {
 		log.Fatal(err)
 	}
-	batch, err := ukc.SolveEuclidean(all, k, ukc.EuclideanOptions{Rule: ukc.RuleEP})
+	batch, err := solver.Solve(ctx, inst, k)
 	if err != nil {
 		log.Fatal(err)
 	}

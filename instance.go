@@ -1,0 +1,120 @@
+package ukc
+
+import (
+	"fmt"
+
+	"repro/internal/metricspace"
+	"repro/internal/uncertain"
+)
+
+// Space is the metric-space abstraction every solver runs against: a metric
+// d over points of type P satisfying the metric axioms. The two regimes of
+// the paper are concrete Spaces — Euclidean{} over Vec, and *FiniteSpace
+// over vertex indices — and the generic pipeline treats Euclidean space as a
+// specialization of the same code path, not a parallel one.
+type Space[P any] = metricspace.Space[P]
+
+// Euclidean is R^d with the L2 metric; the zero value is ready to use. An
+// Instance over this space unlocks the Euclidean-only machinery (expected
+// points, the EP rule, the (1+ε) grid solver).
+type Euclidean = metricspace.Euclidean
+
+// UncertainPoint is an uncertain point over an arbitrary location type: a
+// discrete distribution over locations of type P.
+type UncertainPoint[P any] = uncertain.Point[P]
+
+// Instance is one uncertain k-center problem instance: a set of uncertain
+// points in a metric space, plus the candidate set discrete algorithms draw
+// centers and surrogates from.
+//
+// Candidates may be nil in Euclidean space (continuous constructions exist
+// there; discrete solvers then search the surrogate set). Outside Euclidean
+// space a candidate set is required — use NewFiniteInstance or
+// NewGraphInstance, which default it to all space points.
+type Instance[P any] struct {
+	// Space is the metric the instance lives in.
+	Space Space[P]
+	// Points are the uncertain input points.
+	Points []UncertainPoint[P]
+	// Candidates is the center/surrogate search space for discrete
+	// algorithms (exact discrete k-center, k-median, unassigned local
+	// search, discrete 1-center surrogates).
+	Candidates []P
+}
+
+// NewInstance assembles an instance over an arbitrary metric space.
+func NewInstance[P any](space Space[P], pts []UncertainPoint[P], candidates []P) Instance[P] {
+	return Instance[P]{Space: space, Points: pts, Candidates: candidates}
+}
+
+// NewEuclideanInstance wraps Euclidean uncertain points as an instance over
+// R^d with no explicit candidate set; solvers that need one default to all
+// point locations.
+func NewEuclideanInstance(pts []Point) Instance[Vec] {
+	return Instance[Vec]{Space: Euclidean{}, Points: pts}
+}
+
+// NewFiniteInstance wraps points over a finite metric space; a nil
+// candidates defaults to all space points, the natural candidate set.
+func NewFiniteInstance(space *FiniteSpace, pts []FinitePoint, candidates []int) Instance[int] {
+	if candidates == nil && space != nil {
+		candidates = space.Points()
+	}
+	return Instance[int]{Space: space, Points: pts, Candidates: candidates}
+}
+
+// NewGraphInstance derives the shortest-path metric of g and wraps points
+// over its vertices as a finite instance with all vertices as candidates.
+func NewGraphInstance(g *Graph, pts []FinitePoint) (Instance[int], error) {
+	if g == nil {
+		return Instance[int]{}, fmt.Errorf("ukc: nil graph")
+	}
+	space, err := g.Metric()
+	if err != nil {
+		return Instance[int]{}, err
+	}
+	return NewFiniteInstance(space, pts, nil), nil
+}
+
+// N returns the number of uncertain points.
+func (in Instance[P]) N() int { return len(in.Points) }
+
+// MaxZ returns z = max_i z_i, the largest support size of any point.
+func (in Instance[P]) MaxZ() int { return uncertain.MaxZ(in.Points) }
+
+// TotalLocations returns N = Σ_i z_i, the instance's total support size.
+func (in Instance[P]) TotalLocations() int { return uncertain.TotalLocations(in.Points) }
+
+// IsEuclidean reports whether the instance lives in Euclidean space — the
+// regime where expected points, the EP rule and the (1+ε) solver exist.
+func (in Instance[P]) IsEuclidean() bool {
+	_, ok := any(in.Space).(Euclidean)
+	return ok
+}
+
+// Validate checks the structural invariants: a non-nil space, a nonempty
+// valid point set, and (in Euclidean space) agreeing coordinate dimensions.
+func (in Instance[P]) Validate() error {
+	if in.Space == nil {
+		return fmt.Errorf("ukc: instance with nil space")
+	}
+	if err := uncertain.ValidateSet(in.Points); err != nil {
+		return err
+	}
+	if eu, ok := any(in.Points).([]Point); ok && in.IsEuclidean() {
+		if _, err := uncertain.CommonDim(eu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidatesOrLocations returns the instance's candidate set, defaulting to
+// the concatenation of all point locations — the natural discrete search
+// space when none was given.
+func (in Instance[P]) candidatesOrLocations() []P {
+	if len(in.Candidates) > 0 {
+		return in.Candidates
+	}
+	return uncertain.AllLocations(in.Points)
+}

@@ -1,6 +1,7 @@
 package clusterx
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +21,15 @@ type KMeansResult struct {
 // KMeans runs weighted k-means++ seeding followed by Lloyd iterations until
 // the assignment stabilizes or maxIter rounds pass. Weights may be nil.
 func KMeans(pts []geom.Vec, weights []float64, k int, rng *rand.Rand, maxIter int) (KMeansResult, error) {
+	return KMeansCtx(context.Background(), pts, weights, k, rng, maxIter)
+}
+
+// KMeansCtx is KMeans with cooperative cancellation: the seeding and every
+// Lloyd round check ctx and abort with ctx.Err().
+func KMeansCtx(ctx context.Context, pts []geom.Vec, weights []float64, k int, rng *rand.Rand, maxIter int) (KMeansResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(pts)
 	if n == 0 {
 		return KMeansResult{}, fmt.Errorf("clusterx: empty point set")
@@ -51,6 +61,9 @@ func KMeans(pts []geom.Vec, weights []float64, k int, rng *rand.Rand, maxIter in
 	centers = append(centers, pts[randIntn(rng, n)].Clone())
 	d2 := make([]float64, n)
 	for len(centers) < k {
+		if err := ctx.Err(); err != nil {
+			return KMeansResult{}, err
+		}
 		var total float64
 		for i, p := range pts {
 			best := math.Inf(1)
@@ -82,6 +95,9 @@ func KMeans(pts []geom.Vec, weights []float64, k int, rng *rand.Rand, maxIter in
 	assign := make([]int, n)
 	var iters int
 	for iters = 0; iters < maxIter; iters++ {
+		if err := ctx.Err(); err != nil {
+			return KMeansResult{}, err
+		}
 		changed := false
 		for i, p := range pts {
 			best, bestD := 0, math.Inf(1)
@@ -162,11 +178,17 @@ func EMeansCostAssigned(pts []uncertain.Point[geom.Vec], centers []geom.Vec, ass
 // affect). Returns centers, assignment, the exact uncertain cost, and the
 // irreducible variance floor.
 func SolveUncertainKMeans(pts []uncertain.Point[geom.Vec], k int, rng *rand.Rand, maxIter int) ([]geom.Vec, []int, float64, float64, error) {
+	return SolveUncertainKMeansCtx(context.Background(), pts, k, rng, maxIter)
+}
+
+// SolveUncertainKMeansCtx is SolveUncertainKMeans with cooperative
+// cancellation (see KMeansCtx).
+func SolveUncertainKMeansCtx(ctx context.Context, pts []uncertain.Point[geom.Vec], k int, rng *rand.Rand, maxIter int) ([]geom.Vec, []int, float64, float64, error) {
 	if err := uncertain.ValidateSet(pts); err != nil {
 		return nil, nil, 0, 0, err
 	}
 	bars := uncertain.ExpectedPoints(pts)
-	res, err := KMeans(bars, nil, k, rng, maxIter)
+	res, err := KMeansCtx(ctx, bars, nil, k, rng, maxIter)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}

@@ -21,11 +21,14 @@
 package clusterx
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/metricspace"
+	"repro/internal/par"
 	"repro/internal/uncertain"
 )
 
@@ -59,6 +62,15 @@ func MedianCost[P any](space metricspace.Space[P], pts []P, weights []float64, c
 // a 5-approximation guarantee for exact improving swaps. It returns the
 // chosen candidate indices and their cost. maxIter bounds the swap rounds.
 func LocalSearchKMedian[P any](space metricspace.Space[P], pts []P, weights []float64, candidates []P, k, maxIter int) ([]int, float64, error) {
+	return LocalSearchKMedianCtx(context.Background(), space, pts, weights, candidates, k, maxIter)
+}
+
+// LocalSearchKMedianCtx is LocalSearchKMedian with cooperative cancellation:
+// the greedy seeding and every swap round check ctx and abort with ctx.Err().
+func LocalSearchKMedianCtx[P any](ctx context.Context, space metricspace.Space[P], pts []P, weights []float64, candidates []P, k, maxIter int) ([]int, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(pts) == 0 {
 		return nil, 0, fmt.Errorf("clusterx: empty point set")
 	}
@@ -86,6 +98,9 @@ func LocalSearchKMedian[P any](space metricspace.Space[P], pts []P, weights []fl
 		assignD[i] = math.Inf(1)
 	}
 	for len(chosen) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		bestC, bestGain := -1, math.Inf(-1)
 		for c := range candidates {
 			if inSet[c] {
@@ -135,6 +150,9 @@ func LocalSearchKMedian[P any](space metricspace.Space[P], pts []P, weights []fl
 	}
 	cost := MedianCost(space, pts, weights, sel(chosen))
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		improved := false
 		for pos := 0; pos < len(chosen) && !improved; pos++ {
 			old := chosen[pos]
@@ -206,14 +224,31 @@ func EMedianCostUnassigned[P any](space metricspace.Space[P], pts []uncertain.Po
 // assign by expected distance. Returned cost is the exact assigned expected
 // k-median cost.
 func SolveUncertainKMedian[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int) ([]P, []int, float64, error) {
+	return SolveUncertainKMedianCtx(context.Background(), space, pts, candidates, k, 1)
+}
+
+// SolveUncertainKMedianCtx is SolveUncertainKMedian with cooperative
+// cancellation and a worker pool for the per-point stages (surrogate
+// construction and the ED assignment), which fan out over disjoint point
+// indices and are therefore bit-identical to the sequential run.
+func SolveUncertainKMedianCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, workers int) ([]P, []int, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := uncertain.ValidateSet(pts); err != nil {
 		return nil, nil, 0, err
 	}
 	if len(candidates) == 0 {
 		return nil, nil, 0, fmt.Errorf("clusterx: no candidates")
 	}
-	surr := uncertain.OneCentersDiscrete(space, pts, candidates)
-	idx, _, err := LocalSearchKMedian(space, surr, nil, candidates, k, 100)
+	surr, err := par.Map(ctx, make([]P, len(pts)), workers, func(i int) P {
+		c, _ := uncertain.OneCenterDiscrete(space, pts[i], candidates)
+		return c
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	idx, _, err := LocalSearchKMedianCtx(ctx, space, surr, nil, candidates, k, 100)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -221,16 +256,9 @@ func SolveUncertainKMedian[P any](space metricspace.Space[P], pts []uncertain.Po
 	for i, c := range idx {
 		centers[i] = candidates[c]
 	}
-	assign := make([]int, len(pts))
-	for i, p := range pts {
-		best, bestE := -1, 0.0
-		for c, ctr := range centers {
-			e := uncertain.ExpectedDist(space, p, ctr)
-			if best < 0 || e < bestE {
-				best, bestE = c, e
-			}
-		}
-		assign[i] = best
+	assign, err := core.AssignCtx(ctx, space, pts, centers, core.RuleED, nil, workers)
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	cost, err := EMedianCostAssigned(space, pts, centers, assign)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -42,21 +43,7 @@ func (r Rule) String() string {
 // AssignED computes the expected distance assignment: for each uncertain
 // point, the index of the center with minimal expected distance. O(n·z·k).
 func AssignED[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P) ([]int, error) {
-	if len(centers) == 0 {
-		return nil, fmt.Errorf("core: AssignED with no centers")
-	}
-	out := make([]int, len(pts))
-	for i, p := range pts {
-		best, bestE := -1, 0.0
-		for c, ctr := range centers {
-			e := uncertain.ExpectedDist(space, p, ctr)
-			if best < 0 || e < bestE {
-				best, bestE = c, e
-			}
-		}
-		out[i] = best
-	}
-	return out, nil
+	return AssignCtx(context.Background(), space, pts, centers, RuleED, nil, 1)
 }
 
 // AssignBySurrogate assigns each point to the center nearest its surrogate
@@ -70,37 +57,18 @@ func AssignBySurrogate[P any](space metricspace.Space[P], surrogates, centers []
 }
 
 // AssignEuclidean dispatches the named rule for Euclidean instances,
-// computing the needed surrogates internally.
+// computing the needed surrogates internally. It is a sequential
+// background-context wrapper over AssignCtx, the single rule
+// implementation.
 func AssignEuclidean(pts []uncertain.Point[geom.Vec], centers []geom.Vec, rule Rule) ([]int, error) {
-	space := metricspace.Euclidean{}
-	switch rule {
-	case RuleED:
-		return AssignED[geom.Vec](space, pts, centers)
-	case RuleEP:
-		return AssignBySurrogate[geom.Vec](space, uncertain.ExpectedPoints(pts), centers)
-	case RuleOC:
-		return AssignBySurrogate[geom.Vec](space, uncertain.OneCentersEuclidean(pts), centers)
-	default:
-		return nil, fmt.Errorf("core: unknown rule %v", rule)
-	}
+	return AssignCtx[geom.Vec](context.Background(), metricspace.Euclidean{}, pts, centers, rule, nil, 1)
 }
 
 // AssignMetric dispatches the named rule for general-metric instances.
 // RuleEP is rejected: expected points do not exist outside linear spaces.
 // candidates is the surrogate search space for RuleOC (typically all
-// locations or all space points).
+// locations or all space points). It is a sequential background-context
+// wrapper over AssignCtx, the single rule implementation.
 func AssignMetric[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P, rule Rule, candidates []P) ([]int, error) {
-	switch rule {
-	case RuleED:
-		return AssignED(space, pts, centers)
-	case RuleOC:
-		if len(candidates) == 0 {
-			return nil, fmt.Errorf("core: RuleOC needs a surrogate candidate set")
-		}
-		return AssignBySurrogate(space, uncertain.OneCentersDiscrete(space, pts, candidates), centers)
-	case RuleEP:
-		return nil, fmt.Errorf("core: the expected point rule requires a Euclidean space")
-	default:
-		return nil, fmt.Errorf("core: unknown rule %v", rule)
-	}
+	return AssignCtx(context.Background(), space, pts, centers, rule, candidates, 1)
 }

@@ -20,12 +20,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/emax"
 	"repro/internal/metricspace"
+	"repro/internal/par"
 	"repro/internal/uncertain"
 )
 
@@ -52,15 +54,29 @@ func validateAssignment[P any](pts []uncertain.Point[P], centers []P, assign []i
 // computed exactly in O(N log N): for fixed centers and assignment the
 // per-point distances are independent discrete random variables.
 func EcostAssigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int) (float64, error) {
+	return EcostAssignedCtx(context.Background(), space, pts, centers, assign, 1)
+}
+
+// EcostAssignedCtx is EcostAssigned with cooperative cancellation and a
+// worker pool: the per-point distance RVs are built on `workers` goroutines
+// (fanning out over disjoint point indices, so the result is bit-identical
+// to the sequential evaluation) before the O(N log N) sweep. It returns
+// ctx.Err() if canceled mid-build.
+func EcostAssignedCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int, workers int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := uncertain.ValidateSet(pts); err != nil {
 		return 0, err
 	}
 	if err := validateAssignment(pts, centers, assign); err != nil {
 		return 0, err
 	}
-	rvs := make([]emax.RV, len(pts))
-	for i, p := range pts {
-		rvs[i] = uncertain.DistRV(space, p, centers[assign[i]])
+	rvs, err := par.Map(ctx, make([]emax.RV, len(pts)), workers, func(i int) emax.RV {
+		return uncertain.DistRV(space, pts[i], centers[assign[i]])
+	})
+	if err != nil {
+		return 0, err
 	}
 	return emax.ExpectedMax(rvs)
 }
@@ -72,12 +88,35 @@ func EcostAssigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], 
 // exactly: each realization of each point independently snaps to its nearest
 // center, so the per-point min-distances are again independent RVs.
 func EcostUnassigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P) (float64, error) {
+	return EcostUnassignedCtx(context.Background(), space, pts, centers, 1)
+}
+
+// EcostUnassignedCtx is EcostUnassigned with cooperative cancellation and a
+// worker pool; see EcostAssignedCtx for the determinism contract.
+func EcostUnassignedCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], centers []P, workers int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := uncertain.ValidateSet(pts); err != nil {
 		return 0, err
 	}
 	if len(centers) == 0 {
 		return 0, fmt.Errorf("core: no centers")
 	}
+	rvs, err := par.Map(ctx, make([]emax.RV, len(pts)), workers, func(i int) emax.RV {
+		return uncertain.MinDistRV(space, pts[i], centers)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return emax.ExpectedMax(rvs)
+}
+
+// ecostUnassignedRaw skips per-call set validation: the local-search inner
+// loop evaluates thousands of center sets over the SAME already-validated
+// points, where revalidating each time is pure overhead. Value-identical to
+// EcostUnassigned.
+func ecostUnassignedRaw[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P) (float64, error) {
 	rvs := make([]emax.RV, len(pts))
 	for i, p := range pts {
 		rvs[i] = uncertain.MinDistRV(space, p, centers)

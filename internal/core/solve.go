@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -119,79 +120,31 @@ type EuclideanOptions struct {
 // Approximation guarantees (vs the optimum of the corresponding problem
 // version) with expected-point surrogates: Gonzalez+ED 6, Gonzalez+EP 4,
 // (1+ε)+ED 5+ε, (1+ε)+EP 3+ε (Theorems 2.2, 2.4, 2.5).
+//
+// Deprecated: SolveEuclidean is the legacy flat entry point, kept for
+// compatibility. It is a thin wrapper over the unified generic Solve with a
+// background context; new code should call Solve (or the public
+// Instance/Solver API in the root package) to get context cancellation and
+// worker-pool parallelism.
 func SolveEuclidean(pts []uncertain.Point[geom.Vec], k int, opts EuclideanOptions) (Result[geom.Vec], error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return Result[geom.Vec]{}, err
-	}
-	if _, err := uncertain.CommonDim(pts); err != nil {
-		return Result[geom.Vec]{}, err
-	}
-	if k <= 0 {
-		return Result[geom.Vec]{}, fmt.Errorf("core: k = %d", k)
-	}
-	space := metricspace.Euclidean{}
+	return Solve[geom.Vec](context.Background(), metricspace.Euclidean{}, pts, nil, k, OptionsFromEuclidean(opts))
+}
 
-	var surrogates []geom.Vec
-	switch opts.Surrogate {
-	case SurrogateExpectedPoint:
-		surrogates = uncertain.ExpectedPoints(pts)
-	case SurrogateOneCenter:
-		surrogates = uncertain.OneCentersEuclidean(pts)
-	default:
-		return Result[geom.Vec]{}, fmt.Errorf("core: unknown surrogate %v", opts.Surrogate)
+// OptionsFromEuclidean translates a legacy Euclidean option bundle to the
+// unified Options — the single owner of this field mapping (the harness
+// reuses it to add ctx/parallelism on top of legacy bundles).
+func OptionsFromEuclidean(opts EuclideanOptions) Options {
+	return Options{
+		Surrogate:      opts.Surrogate,
+		Rule:           opts.Rule,
+		Solver:         opts.Solver,
+		Eps:            opts.Eps,
+		EpsOptions:     opts.EpsOptions,
+		Start:          opts.Start,
+		MaxNodes:       opts.EpsOptions.MaxNodes,
+		CoresetEps:     opts.CoresetEps,
+		CoresetMaxSize: opts.CoresetMaxSize,
 	}
-
-	// Optional large-n path: run the certain solver on a coreset of the
-	// surrogates instead of all of them.
-	solveSet := surrogates
-	if opts.CoresetEps > 0 {
-		cs, err := kcenter.Coreset[geom.Vec](space, surrogates, k, opts.CoresetEps, opts.CoresetMaxSize)
-		if err != nil {
-			return Result[geom.Vec]{}, err
-		}
-		solveSet = kcenter.Select(surrogates, cs.Indices)
-	}
-
-	var centers []geom.Vec
-	var radius, effEps float64
-	switch opts.Solver {
-	case SolverGonzalez:
-		idx, r, err := kcenter.Gonzalez[geom.Vec](space, solveSet, k, opts.Start)
-		if err != nil {
-			return Result[geom.Vec]{}, err
-		}
-		centers, radius, effEps = kcenter.Select(solveSet, idx), r, 1
-	case SolverEps:
-		eps := opts.Eps
-		if eps <= 0 {
-			eps = 0.5
-		}
-		res, err := kcenter.EpsApprox(solveSet, k, eps, opts.EpsOptions)
-		if err != nil {
-			return Result[geom.Vec]{}, err
-		}
-		centers, radius, effEps = res.Centers, res.Radius, res.EffectiveEps
-	case SolverExactDiscrete:
-		idx, r, err := kcenter.DiscreteBnB[geom.Vec](space, solveSet, solveSet, k, opts.EpsOptions.MaxNodes)
-		if err != nil {
-			return Result[geom.Vec]{}, err
-		}
-		// Restricting centers to surrogate points is itself a
-		// 2-approximation of the continuous surrogate optimum, so ε = 1.
-		centers, radius, effEps = kcenter.Select(solveSet, idx), r, 1
-	default:
-		return Result[geom.Vec]{}, fmt.Errorf("core: unknown solver %v", opts.Solver)
-	}
-
-	if opts.CoresetEps > 0 {
-		// Report the radius over ALL surrogates, not just the coreset.
-		radius = kcenter.Radius[geom.Vec](space, surrogates, centers)
-	}
-	assign, err := AssignEuclidean(pts, centers, opts.Rule)
-	if err != nil {
-		return Result[geom.Vec]{}, err
-	}
-	return finishResult(space, pts, centers, assign, surrogates, radius, effEps)
 }
 
 // MetricOptions configures SolveMetric. The zero value is Gonzalez with the
@@ -210,68 +163,27 @@ type MetricOptions struct {
 // all space points, or all locations), the deterministic k-center runs on
 // the surrogates, and points are assigned by RuleED (factor 7+2ε) or RuleOC
 // (factor 5+2ε). RuleEP is rejected outside Euclidean space.
+//
+// Deprecated: SolveMetric is the legacy flat entry point, kept for
+// compatibility. It is a thin wrapper over the unified generic Solve with a
+// background context; new code should call Solve (or the public
+// Instance/Solver API in the root package) to get context cancellation and
+// worker-pool parallelism.
 func SolveMetric[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, opts MetricOptions) (Result[P], error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return Result[P]{}, err
-	}
-	if k <= 0 {
-		return Result[P]{}, fmt.Errorf("core: k = %d", k)
-	}
 	if len(candidates) == 0 {
 		return Result[P]{}, fmt.Errorf("core: SolveMetric needs a candidate set")
 	}
-	surrogates := uncertain.OneCentersDiscrete(space, pts, candidates)
-
-	var centers []P
-	var radius, effEps float64
-	switch opts.Solver {
-	case SolverGonzalez:
-		idx, r, err := kcenter.Gonzalez(space, surrogates, k, opts.Start)
-		if err != nil {
-			return Result[P]{}, err
-		}
-		centers, radius, effEps = kcenter.Select(surrogates, idx), r, 1
-	case SolverExactDiscrete:
-		idx, r, err := kcenter.DiscreteBnB(space, surrogates, candidates, k, opts.MaxNodes)
-		if err != nil {
-			return Result[P]{}, err
-		}
-		centers = make([]P, len(idx))
-		for i, c := range idx {
-			centers[i] = candidates[c]
-		}
-		// Exact over the candidate set; if candidates = all space points
-		// this is the true certain optimum (ε = 0).
-		radius, effEps = r, 0
-	case SolverEps:
-		return Result[P]{}, fmt.Errorf("core: SolverEps requires a Euclidean space; use SolverExactDiscrete")
-	default:
-		return Result[P]{}, fmt.Errorf("core: unknown solver %v", opts.Solver)
-	}
-
-	assign, err := AssignMetric(space, pts, centers, opts.Rule, candidates)
-	if err != nil {
-		return Result[P]{}, err
-	}
-	return finishResult(space, pts, centers, assign, surrogates, radius, effEps)
+	return Solve(context.Background(), space, pts, candidates, k, OptionsFromMetric(opts))
 }
 
-func finishResult[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int, surrogates []P, radius, effEps float64) (Result[P], error) {
-	ecost, err := EcostAssigned(space, pts, centers, assign)
-	if err != nil {
-		return Result[P]{}, err
+// OptionsFromMetric translates a legacy finite-metric option bundle to the
+// unified Options; see OptionsFromEuclidean.
+func OptionsFromMetric(opts MetricOptions) Options {
+	return Options{
+		Surrogate: SurrogateOneCenter,
+		Rule:      opts.Rule,
+		Solver:    opts.Solver,
+		Start:     opts.Start,
+		MaxNodes:  opts.MaxNodes,
 	}
-	un, err := EcostUnassigned(space, pts, centers)
-	if err != nil {
-		return Result[P]{}, err
-	}
-	return Result[P]{
-		Centers:         centers,
-		Assign:          assign,
-		Ecost:           ecost,
-		EcostUnassigned: un,
-		Surrogates:      surrogates,
-		CertainRadius:   radius,
-		EffectiveEps:    effEps,
-	}, nil
 }

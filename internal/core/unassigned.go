@@ -1,14 +1,43 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/metricspace"
+	"repro/internal/par"
 	"repro/internal/uncertain"
 )
 
+// LocalSearchOptions configures SolveUnassignedLS.
+type LocalSearchOptions struct {
+	// MaxIter bounds the swap rounds (default 100).
+	MaxIter int
+	// Parallelism gates the worker-pool evaluation of the candidate-swap
+	// neighborhood, with the same convention and bit-identical guarantee as
+	// Options.Parallelism: every candidate's exact cost is computed exactly
+	// as in the sequential scan, and the winning swap is selected by the
+	// same deterministic left-to-right rule over the computed costs.
+	Parallelism int
+}
+
+// Workers normalizes Parallelism to a worker count; see Options.Workers.
+func (o LocalSearchOptions) Workers() int {
+	return Options{Parallelism: o.Parallelism}.Workers()
+}
+
 // SolveUnassignedLocalSearch optimizes the paper's UNASSIGNED objective
+// over centers drawn from a candidate set; see SolveUnassignedLS.
+//
+// Deprecated: SolveUnassignedLocalSearch is the legacy flat entry point,
+// kept for compatibility. New code should call SolveUnassignedLS, which
+// adds context cancellation and a parallel neighborhood scan.
+func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, maxIter int) ([]P, float64, error) {
+	return SolveUnassignedLS(context.Background(), space, pts, candidates, k, LocalSearchOptions{MaxIter: maxIter})
+}
+
+// SolveUnassignedLS optimizes the paper's UNASSIGNED objective
 //
 //	Ecost(C) = E[max_i min_j d(X_i, c_j)]
 //
@@ -16,7 +45,7 @@ import (
 // the exact cost evaluator: start from the ED-surrogate pipeline's centers
 // snapped to their nearest candidates, then repeatedly apply the best
 // improving (center-out, candidate-in) swap until none improves by more
-// than a relative 1e-9 or maxIter rounds pass.
+// than a relative 1e-9 or MaxIter rounds pass.
 //
 // The paper defines this version but provides no algorithm for it (it cites
 // the Huang–Li PTAS); this is the practical heuristic the exact O(N log N)
@@ -24,12 +53,19 @@ import (
 // never a Monte-Carlo estimate. The result is a local optimum with respect
 // to single swaps; on brute-forceable instances the tests compare it
 // against the global optimum.
-func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k, maxIter int) ([]P, float64, error) {
+//
+// The neighborhood scan (one exact evaluation per candidate, the hot loop)
+// checks ctx between chunks and aborts with ctx.Err(); Parallelism > 1
+// fans the scan out over a worker pool with bit-identical results.
+func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, opts LocalSearchOptions) ([]P, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := uncertain.ValidateSet(pts); err != nil {
 		return nil, 0, err
 	}
 	if len(candidates) == 0 {
-		return nil, 0, fmt.Errorf("core: SolveUnassignedLocalSearch needs candidates")
+		return nil, 0, fmt.Errorf("core: SolveUnassignedLS needs candidates")
 	}
 	if k <= 0 {
 		return nil, 0, fmt.Errorf("core: k = %d", k)
@@ -37,6 +73,7 @@ func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncerta
 	if k > len(candidates) {
 		k = len(candidates)
 	}
+	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 100
 	}
@@ -45,7 +82,10 @@ func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncerta
 	// descend from two structurally different ones and keep the better —
 	// (a) 1-center surrogates snapped to candidates, (b) farthest-first
 	// directly over the candidate set.
-	surr := uncertain.OneCentersDiscrete(space, pts, candidates)
+	surr, err := buildSurrogates(ctx, space, pts, candidates, SurrogateOneCenter, opts.Workers())
+	if err != nil {
+		return nil, 0, err
+	}
 	seeds := [][]int{
 		greedySeed(space, surr, candidates, k),
 		farthestFirstSeed(space, candidates, k),
@@ -53,7 +93,7 @@ func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncerta
 	var bestCenters []P
 	bestCost := math.Inf(1)
 	for _, seed := range seeds {
-		centers, cost, err := swapDescent(space, pts, candidates, seed, maxIter)
+		centers, cost, err := swapDescent(ctx, space, pts, candidates, seed, maxIter, opts.Workers())
 		if err != nil {
 			return nil, 0, err
 		}
@@ -65,8 +105,11 @@ func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncerta
 }
 
 // swapDescent runs best-improvement single-swap local search on the exact
-// unassigned cost from the given seed.
-func swapDescent[P any](space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, seed []int, maxIter int) ([]P, float64, error) {
+// unassigned cost from the given seed. Each neighborhood scan evaluates
+// every out-of-set candidate on the worker pool, then applies the
+// deterministic left-to-right selection rule over the computed costs, so
+// any worker count yields the sequential trajectory.
+func swapDescent[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, seed []int, maxIter, workers int) ([]P, float64, error) {
 	chosen := append([]int(nil), seed...)
 	sel := func(idx []int) []P {
 		out := make([]P, len(idx))
@@ -75,7 +118,7 @@ func swapDescent[P any](space metricspace.Space[P], pts []uncertain.Point[P], ca
 		}
 		return out
 	}
-	cost, err := EcostUnassigned(space, pts, sel(chosen))
+	cost, err := ecostUnassignedRaw(space, pts, sel(chosen))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -83,22 +126,37 @@ func swapDescent[P any](space metricspace.Space[P], pts []uncertain.Point[P], ca
 	for _, c := range chosen {
 		inSet[c] = true
 	}
+	costs := make([]float64, len(candidates))
+	errs := make([]error, len(candidates))
 	for iter := 0; iter < maxIter; iter++ {
 		improved := false
 		for pos := 0; pos < len(chosen); pos++ {
 			old := chosen[pos]
+			base := sel(chosen)
+			// Scan the swap neighborhood: exact cost of replacing
+			// chosen[pos] by each out-of-set candidate.
+			err := par.For(ctx, len(candidates), workers, func(c int) {
+				if inSet[c] {
+					return
+				}
+				centers := make([]P, len(base))
+				copy(centers, base)
+				centers[pos] = candidates[c]
+				costs[c], errs[c] = ecostUnassignedRaw(space, pts, centers)
+			})
+			if err != nil {
+				return nil, 0, err
+			}
 			bestC, bestCost := -1, cost
 			for c := range candidates {
 				if inSet[c] {
 					continue
 				}
-				chosen[pos] = c
-				newCost, err := EcostUnassigned(space, pts, sel(chosen))
-				if err != nil {
-					return nil, 0, err
+				if errs[c] != nil {
+					return nil, 0, errs[c]
 				}
-				if newCost < bestCost*(1-1e-9) {
-					bestC, bestCost = c, newCost
+				if costs[c] < bestCost*(1-1e-9) {
+					bestC, bestCost = c, costs[c]
 				}
 			}
 			if bestC >= 0 {
@@ -107,8 +165,6 @@ func swapDescent[P any](space metricspace.Space[P], pts []uncertain.Point[P], ca
 				inSet[bestC] = true
 				cost = bestCost
 				improved = true
-			} else {
-				chosen[pos] = old
 			}
 		}
 		if !improved {

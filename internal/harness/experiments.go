@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,6 +26,12 @@ type Config struct {
 	Trials int
 	// Quick shrinks instance sizes for CI-speed runs.
 	Quick bool
+	// Ctx cancels a run mid-experiment (nil = context.Background()); every
+	// solve below goes through the unified context-aware pipeline.
+	Ctx context.Context
+	// Parallelism gates the solver worker pools (core.Options.Parallelism
+	// conventions); results are bit-identical for any value.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -36,6 +43,29 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+func (c Config) context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// solveEuclidean routes a legacy Euclidean option bundle through the
+// unified context-aware core.Solve with the config's parallelism.
+func (c Config) solveEuclidean(pts []uncertain.Point[geom.Vec], k int, o core.EuclideanOptions) (core.Result[geom.Vec], error) {
+	opts := core.OptionsFromEuclidean(o)
+	opts.Parallelism = c.Parallelism
+	return core.Solve[geom.Vec](c.context(), metricspace.Euclidean{}, pts, nil, k, opts)
+}
+
+// solveMetric routes a legacy finite-metric option bundle through the
+// unified context-aware core.Solve with the config's parallelism.
+func (c Config) solveMetric(space metricspace.Space[int], pts []uncertain.Point[int], candidates []int, k int, o core.MetricOptions) (core.Result[int], error) {
+	opts := core.OptionsFromMetric(o)
+	opts.Parallelism = c.Parallelism
+	return core.Solve[int](c.context(), space, pts, candidates, k, opts)
 }
 
 const ratioSlack = 1e-9
@@ -63,6 +93,11 @@ func RunE1(cfg Config) (*Report, error) {
 		for _, d := range dims {
 			stats := NewStats()
 			for trial := 0; trial < cfg.Trials; trial++ {
+				// This experiment's substrates (1-center, pattern search)
+				// are not ctx-aware; honor cancellation between trials.
+				if err := cfg.context().Err(); err != nil {
+					return nil, err
+				}
 				var pts []uncertain.Point[geom.Vec]
 				var err error
 				n := 4 + rng.Intn(4)
@@ -147,7 +182,7 @@ func RunEuclideanRows(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			k := 1 + rng.Intn(2)
-			res, err := core.SolveEuclidean(pts, k, core.EuclideanOptions{
+			res, err := cfg.solveEuclidean(pts, k, core.EuclideanOptions{
 				Surrogate: core.SurrogateExpectedPoint,
 				Rule:      spec.rule,
 				Solver:    spec.solver,
@@ -205,6 +240,11 @@ func RunE8(cfg Config) (*Report, error) {
 	for _, k := range []int{1, 2} {
 		stats := NewStats()
 		for trial := 0; trial < cfg.Trials; trial++ {
+			// The 1D solver and brute force are not ctx-aware; honor
+			// cancellation between trials.
+			if err := cfg.context().Err(); err != nil {
+				return nil, err
+			}
 			n := 3 + rng.Intn(2)
 			pts, err := gen.Mixture1D(rng, n, 2, 2, 1.5)
 			if err != nil {
@@ -271,7 +311,7 @@ func RunE9(cfg Config) (*Report, error) {
 					return nil, err
 				}
 				k := 1 + rng.Intn(2)
-				res, err := core.SolveMetric[int](space, pts, space.Points(), k, core.MetricOptions{
+				res, err := cfg.solveMetric(space, pts, space.Points(), k, core.MetricOptions{
 					Rule: c.rule, Solver: c.solver,
 				})
 				if err != nil {
@@ -360,11 +400,11 @@ func RunC1(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			ep, err := core.SolveEuclidean(pts, k, core.EuclideanOptions{Rule: core.RuleEP})
+			ep, err := cfg.solveEuclidean(pts, k, core.EuclideanOptions{Rule: core.RuleEP})
 			if err != nil {
 				return nil, err
 			}
-			oc, err := core.SolveEuclidean(pts, k, core.EuclideanOptions{
+			oc, err := cfg.solveEuclidean(pts, k, core.EuclideanOptions{
 				Surrogate: core.SurrogateOneCenter, Rule: core.RuleOC,
 			})
 			if err != nil {
@@ -409,11 +449,11 @@ func RunC1(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			oc, err := core.SolveMetric[int](space, pts, space.Points(), k, core.MetricOptions{Rule: core.RuleOC})
+			oc, err := cfg.solveMetric(space, pts, space.Points(), k, core.MetricOptions{Rule: core.RuleOC})
 			if err != nil {
 				return nil, err
 			}
-			ed, err := core.SolveMetric[int](space, pts, space.Points(), k, core.MetricOptions{Rule: core.RuleED})
+			ed, err := cfg.solveMetric(space, pts, space.Points(), k, core.MetricOptions{Rule: core.RuleED})
 			if err != nil {
 				return nil, err
 			}
@@ -495,13 +535,13 @@ func RunA1(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			ep, err := core.SolveEuclidean(pts, k, core.EuclideanOptions{
+			ep, err := cfg.solveEuclidean(pts, k, core.EuclideanOptions{
 				Surrogate: core.SurrogateExpectedPoint, Rule: core.RuleEP,
 			})
 			if err != nil {
 				return nil, err
 			}
-			oc, err := core.SolveEuclidean(pts, k, core.EuclideanOptions{
+			oc, err := cfg.solveEuclidean(pts, k, core.EuclideanOptions{
 				Surrogate: core.SurrogateOneCenter, Rule: core.RuleOC,
 			})
 			if err != nil {
@@ -545,7 +585,7 @@ func RunA2(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.SolveEuclidean(pts, k, core.EuclideanOptions{Rule: core.RuleEP})
+			res, err := cfg.solveEuclidean(pts, k, core.EuclideanOptions{Rule: core.RuleEP})
 			if err != nil {
 				return nil, err
 			}
@@ -590,7 +630,7 @@ func RunA3(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SolveEuclidean(pts, 4, core.EuclideanOptions{Rule: core.RuleEP})
+		res, err := cfg.solveEuclidean(pts, 4, core.EuclideanOptions{Rule: core.RuleEP})
 		if err != nil {
 			return nil, err
 		}
@@ -638,7 +678,7 @@ func RunR2(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		if _, err := core.SolveEuclidean(pts, 8, core.EuclideanOptions{Rule: core.RuleEP}); err != nil {
+		if _, err := cfg.solveEuclidean(pts, 8, core.EuclideanOptions{Rule: core.RuleEP}); err != nil {
 			return nil, err
 		}
 		d := time.Since(t0)
@@ -657,7 +697,7 @@ func RunR2(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		if _, err := core.SolveEuclidean(pts, 8, core.EuclideanOptions{Rule: core.RuleEP}); err != nil {
+		if _, err := cfg.solveEuclidean(pts, 8, core.EuclideanOptions{Rule: core.RuleEP}); err != nil {
 			return nil, err
 		}
 		d := time.Since(t0)
@@ -692,7 +732,7 @@ func RunR2(cfg Config) (*Report, error) {
 		{"coreset + (1+eps)", withCS},
 	} {
 		t0 := time.Now()
-		res, err := core.SolveEuclidean(ptsCS, 3, variant.opts)
+		res, err := cfg.solveEuclidean(ptsCS, 3, variant.opts)
 		if err != nil {
 			return nil, err
 		}

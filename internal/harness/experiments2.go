@@ -56,7 +56,7 @@ func RunA4(cfg Config) (*Report, error) {
 		grids := NewStats()
 		for _, in := range pool {
 			t0 := time.Now()
-			res, err := core.SolveEuclidean(in.pts, in.k, core.EuclideanOptions{
+			res, err := cfg.solveEuclidean(in.pts, in.k, core.EuclideanOptions{
 				Rule: core.RuleEP, Solver: core.SolverEps, Eps: eps,
 			})
 			if err != nil {

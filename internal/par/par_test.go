@@ -1,0 +1,70 @@
+package par_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		for _, n := range []int{0, 1, 7, 16, 100, 1000} {
+			hits := make([]int32, n)
+			err := par.For(context.Background(), n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := par.For(ctx, 1000, 4, func(i int) {})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Sequential path too.
+	err = par.For(ctx, 1000, 1, func(i int) {})
+	if err != context.Canceled {
+		t.Fatalf("sequential: got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	f := func(i int) int { return i * i }
+	want := make([]int, 257)
+	for i := range want {
+		want[i] = f(i)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := par.Map(context.Background(), make([]int, len(want)), workers, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if par.Workers(4) != 4 {
+		t.Fatal("Workers(4) != 4")
+	}
+	if par.Workers(0) < 1 || par.Workers(-1) < 1 {
+		t.Fatal("Workers must default to at least 1")
+	}
+}

@@ -21,6 +21,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -196,6 +197,27 @@ func (u *Uncertain1Center) Push(p uncertain.Point[geom.Vec]) error {
 	return nil
 }
 
+// pushSet feeds a batch of points into any sketch's Push, checking ctx
+// between points; on cancellation it returns ctx.Err() with the prefix
+// already absorbed (a sketch is always a valid summary of what it has seen).
+func pushSet(ctx context.Context, pts []uncertain.Point[geom.Vec], push func(uncertain.Point[geom.Vec]) error) error {
+	for _, p := range pts {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := push(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushSet feeds a batch of uncertain points into the sketch, checking ctx
+// between points; see pushSet for the cancellation semantics.
+func (u *Uncertain1Center) PushSet(ctx context.Context, pts []uncertain.Point[geom.Vec]) error {
+	return pushSet(ctx, pts, u.Push)
+}
+
 // Center returns the current center estimate. It panics before any Push.
 func (u *Uncertain1Center) Center() geom.Vec { return u.ball.Center() }
 
@@ -224,6 +246,12 @@ func (u *UncertainKCenter) Push(p uncertain.Point[geom.Vec]) error {
 	}
 	u.inc.Push(uncertain.ExpectedPoint(p))
 	return nil
+}
+
+// PushSet feeds a batch of uncertain points into the sketch, checking ctx
+// between points; see pushSet for the cancellation semantics.
+func (u *UncertainKCenter) PushSet(ctx context.Context, pts []uncertain.Point[geom.Vec]) error {
+	return pushSet(ctx, pts, u.Push)
 }
 
 // Centers returns the current center set (≤ k).

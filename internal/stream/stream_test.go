@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -261,5 +262,65 @@ func BenchmarkIncrementalPush(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Push(pts[i%len(pts)])
+	}
+}
+
+func TestPushSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pts, err := gen.GaussianClusters(rng, 40, 3, 2, 3, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feeding a batch must equal feeding the same points one by one.
+	var bulk1, solo1 Uncertain1Center
+	if err := bulk1.PushSet(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := solo1.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk1.N() != solo1.N() || !bulk1.Center().Equal(solo1.Center(), 0) {
+		t.Fatal("Uncertain1Center.PushSet differs from per-point Push")
+	}
+
+	bulkK, err := NewUncertainKCenter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloK, err := NewUncertainKCenter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulkK.PushSet(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := soloK.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc, sc := bulkK.Centers(), soloK.Centers()
+	if bulkK.N() != soloK.N() || len(bc) != len(sc) {
+		t.Fatal("UncertainKCenter.PushSet differs from per-point Push")
+	}
+	for i := range bc {
+		if !bc[i].Equal(sc[i], 0) {
+			t.Fatalf("center %d differs after PushSet", i)
+		}
+	}
+
+	// A canceled context stops the feed with ctx.Err; the prefix absorbed
+	// so far stays a valid sketch.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c1 Uncertain1Center
+	if err := c1.PushSet(canceled, pts); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if err := bulkK.PushSet(canceled, pts); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,158 @@
+package ukc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/clusterx"
+	"repro/internal/core"
+)
+
+// ResultOf is the generic solve result: centers, assignment, exact expected
+// costs (assigned and unassigned), the surrogates the pipeline clustered,
+// the deterministic radius achieved on them, and the certified ε.
+type ResultOf[P any] = core.Result[P]
+
+// Solver runs the paper's surrogate pipelines over instances of one
+// location type P, configured once with functional options and reusable
+// across instances and goroutines (a Solver is immutable after NewSolver).
+//
+// One generic pipeline serves both regimes: Euclidean instances are a
+// specialization detected from the instance's space, not a separate code
+// path. Every entry point takes a context and aborts mid-solve with
+// ctx.Err() when it is canceled; WithParallelism(n) fans the hot loops out
+// over a worker pool with bit-identical results.
+//
+//	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP), ukc.WithParallelism(8))
+//	res, err := solver.Solve(ctx, ukc.NewEuclideanInstance(pts), 3)
+type Solver[P any] struct {
+	cfg solverConfig
+}
+
+// NewSolver builds a solver from functional options. The zero-option solver
+// is the paper's recommended pipeline for the space it meets: expected-point
+// surrogates + Gonzalez + EP assignment in Euclidean space (factor 4,
+// O(nz + n log k)), 1-center surrogates + Gonzalez + ED assignment in
+// general metric spaces (factor 7+2ε).
+func NewSolver[P any](opts ...Option) *Solver[P] {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Solver[P]{cfg: cfg}
+}
+
+// resolve fills the per-space defaults for options not set explicitly.
+func (s *Solver[P]) resolve(inst Instance[P]) core.Options {
+	opts := s.cfg.opts
+	eu := inst.IsEuclidean()
+	if !s.cfg.surrogateSet {
+		if eu {
+			opts.Surrogate = SurrogateExpectedPoint
+		} else {
+			opts.Surrogate = SurrogateOneCenter
+		}
+	}
+	if !s.cfg.ruleSet {
+		if eu {
+			opts.Rule = RuleEP
+		} else {
+			opts.Rule = RuleED
+		}
+	}
+	return opts
+}
+
+// candidates returns the candidate set a discrete stage should use: the
+// instance's own set, or (outside Euclidean space, where one is mandatory)
+// all point locations.
+func (s *Solver[P]) candidates(inst Instance[P]) []P {
+	if inst.IsEuclidean() {
+		return inst.Candidates
+	}
+	return inst.candidatesOrLocations()
+}
+
+// Solve runs the uncertain k-center pipeline (Theorems 2.1–2.7) on one
+// instance: surrogate construction, optional coreset, deterministic
+// k-center on the surrogates, rule-based assignment, and exact expected
+// costs.
+func (s *Solver[P]) Solve(ctx context.Context, inst Instance[P], k int) (ResultOf[P], error) {
+	return core.Solve(ctx, inst.Space, inst.Points, s.candidates(inst), k, s.resolve(inst))
+}
+
+// SolveUnassigned optimizes the paper's unassigned objective
+// E[max_i min_j d(X_i, c_j)] directly by multi-start single-swap local
+// search over the candidate set on the exact cost evaluator (the paper
+// defines this version but gives no algorithm; see
+// core.SolveUnassignedLS). Centers are drawn from the instance's candidate
+// set, defaulting to all point locations.
+func (s *Solver[P]) SolveUnassigned(ctx context.Context, inst Instance[P], k int) ([]P, float64, error) {
+	if inst.Space == nil {
+		return nil, 0, fmt.Errorf("ukc: instance with nil space")
+	}
+	return core.SolveUnassignedLS(ctx, inst.Space, inst.Points, inst.candidatesOrLocations(), k, core.LocalSearchOptions{
+		MaxIter:     s.cfg.maxIter,
+		Parallelism: s.cfg.opts.Parallelism,
+	})
+}
+
+// SolveKMedian solves the uncertain k-median (expected sum of distances)
+// with the surrogate reduction: 1-center surrogates, discrete local-search
+// k-median over the candidate set (defaulting to all point locations),
+// expected-distance assignment. The returned cost is the exact expected
+// k-median cost of the assignment.
+func (s *Solver[P]) SolveKMedian(ctx context.Context, inst Instance[P], k int) ([]P, []int, float64, error) {
+	if inst.Space == nil {
+		return nil, nil, 0, fmt.Errorf("ukc: instance with nil space")
+	}
+	return solveKMedianCtx(ctx, inst.Space, inst.Points, inst.candidatesOrLocations(), k, s.cfg.opts.Parallelism)
+}
+
+// SolveKMeans solves the uncertain k-means by the exact reduction (Lloyd on
+// the expected points; the uncertain cost equals the certain cost plus the
+// irreducible variance floor Σ Var(P_i), which is also returned). It is
+// Euclidean-only: expected points do not exist in general metric spaces.
+// The k-means++ seeding draws from WithSeed's generator; WithMaxIter bounds
+// the Lloyd rounds.
+func (s *Solver[P]) SolveKMeans(ctx context.Context, inst Instance[P], k int) (centers []P, assign []int, cost, varianceFloor float64, err error) {
+	eu, ok := any(inst.Points).([]Point)
+	if !ok || !inst.IsEuclidean() {
+		return nil, nil, 0, 0, fmt.Errorf("ukc: SolveKMeans requires a Euclidean instance")
+	}
+	rng := rand.New(rand.NewSource(s.cfg.seed))
+	c, a, cost, floor, err := clusterx.SolveUncertainKMeansCtx(ctx, eu, k, rng, s.cfg.maxIter)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return any(c).([]P), a, cost, floor, nil
+}
+
+// Ecost returns the exact assigned expected cost of (centers, assign) on
+// the instance, using the solver's worker pool.
+func (s *Solver[P]) Ecost(ctx context.Context, inst Instance[P], centers []P, assign []int) (float64, error) {
+	if inst.Space == nil {
+		return 0, fmt.Errorf("ukc: instance with nil space")
+	}
+	return core.EcostAssignedCtx(ctx, inst.Space, inst.Points, centers, assign, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
+}
+
+// EcostUnassigned returns the exact unassigned expected cost of centers on
+// the instance, using the solver's worker pool.
+func (s *Solver[P]) EcostUnassigned(ctx context.Context, inst Instance[P], centers []P) (float64, error) {
+	if inst.Space == nil {
+		return 0, fmt.Errorf("ukc: instance with nil space")
+	}
+	return core.EcostUnassignedCtx(ctx, inst.Space, inst.Points, centers, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
+}
+
+// Assign computes the solver's assignment rule for an existing center set
+// on the instance (the rule defaults per-space exactly as in Solve).
+func (s *Solver[P]) Assign(ctx context.Context, inst Instance[P], centers []P) ([]int, error) {
+	if inst.Space == nil {
+		return nil, fmt.Errorf("ukc: instance with nil space")
+	}
+	opts := s.resolve(inst)
+	return core.AssignCtx(ctx, inst.Space, inst.Points, centers, opts.Rule, s.candidates(inst), opts.Workers())
+}

@@ -19,11 +19,23 @@
 // # Quick start
 //
 //	pts := []ukc.Point{ /* uncertain points in R^d */ }
-//	res, err := ukc.SolveEuclidean(pts, 3, ukc.EuclideanOptions{Rule: ukc.RuleEP})
+//	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP), ukc.WithParallelism(8))
+//	res, err := solver.Solve(ctx, ukc.NewEuclideanInstance(pts), 3)
 //	// res.Centers, res.Assign, res.Ecost (exact expected cost)
 //
-// The same pipelines run on arbitrary finite metric spaces (graph metrics)
-// via SolveMetric, with the 1-center surrogate replacing the expected point.
+// The primary API is generic: an Instance[P] bundles uncertain points, a
+// metric Space[P] and a candidate set, and a Solver[P] — configured once
+// with functional options — runs one unified pipeline over any space, with
+// Euclidean space as a specialization rather than a parallel code path
+// (finite/graph metrics use the 1-center surrogate in place of the expected
+// point). Every solve takes a context.Context and aborts mid-solve on
+// cancellation; WithParallelism(n) fans the hot loops out over a worker
+// pool with bit-identical results, and Batch solves many instances
+// concurrently on a shared bounded pool.
+//
+// The flat functions below (SolveEuclidean, SolveMetric, Assign, Ecost, …)
+// are the legacy surface, kept as thin deprecated wrappers over the Solver
+// API; DESIGN.md carries the migration table.
 //
 // The subpackages under internal/ hold the substrates (geometry, metric
 // spaces, graph shortest paths, the exact E[max] evaluator, deterministic
@@ -127,13 +139,25 @@ func NewGraph(n int) *Graph { return graphmetric.New(n) }
 
 // SolveEuclidean runs the paper's Euclidean surrogate pipeline
 // (Theorems 2.1–2.5). See EuclideanOptions for the factor/runtime menu.
+//
+// Deprecated: use NewSolver[Vec] with functional options and Solve, which
+// adds context cancellation and worker-pool parallelism:
+//
+//	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(opts.Rule), ...)
+//	res, err := solver.Solve(ctx, ukc.NewEuclideanInstance(pts), k)
 func SolveEuclidean(pts []Point, k int, opts EuclideanOptions) (Result, error) {
+	// core.SolveEuclidean owns the legacy option mapping and is itself a
+	// wrapper over the same unified core.Solve that Solver.Solve calls.
 	return core.SolveEuclidean(pts, k, opts)
 }
 
 // SolveMetric runs the general-metric pipeline (Theorems 2.6–2.7) over a
 // finite metric space; candidates is the center/surrogate search space,
 // typically space.Points().
+//
+// Deprecated: use NewSolver[int] with functional options and Solve over a
+// NewFiniteInstance (or NewGraphInstance), which adds context cancellation
+// and worker-pool parallelism.
 func SolveMetric(space *FiniteSpace, pts []FinitePoint, candidates []int, k int, opts MetricOptions) (FiniteResult, error) {
 	return core.SolveMetric[int](space, pts, candidates, k, opts)
 }
@@ -152,16 +176,25 @@ func Optimal1Center(pts []Point, tol float64) (Vec, float64, error) {
 }
 
 // Ecost returns the exact assigned expected cost of (centers, assign).
+//
+// Deprecated: use Solver.Ecost, which adds context cancellation and
+// worker-pool parallelism.
 func Ecost(pts []Point, centers []Vec, assign []int) (float64, error) {
 	return core.EcostAssigned[geom.Vec](metricspace.Euclidean{}, pts, centers, assign)
 }
 
 // EcostUnassigned returns the exact unassigned expected cost of centers.
+//
+// Deprecated: use Solver.EcostUnassigned, which adds context cancellation
+// and worker-pool parallelism.
 func EcostUnassigned(pts []Point, centers []Vec) (float64, error) {
 	return core.EcostUnassigned[geom.Vec](metricspace.Euclidean{}, pts, centers)
 }
 
 // Assign computes the named assignment rule for a center set.
+//
+// Deprecated: use Solver.Assign, which adds context cancellation and
+// worker-pool parallelism.
 func Assign(pts []Point, centers []Vec, rule core.Rule) ([]int, error) {
 	return core.AssignEuclidean(pts, centers, rule)
 }
