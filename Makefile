@@ -1,12 +1,13 @@
-# Tier-1 verification targets. `make ci` is the gate: vet + build + test +
-# race. The race target matters here: the solver's WithParallelism paths are
-# required to be race-clean AND bit-identical to sequential runs.
+# Tier-1 verification targets. `make check` is the gate: vet + build +
+# test + race (`make ci` is an alias). The race target matters here: the
+# solver's WithParallelism paths are required to be race-clean AND
+# bit-identical to sequential runs.
 
 GO ?= go
 
-.PHONY: all vet build test test-race bench bench-parallel examples ci
+.PHONY: all vet build test test-race bench bench-parallel bench-json examples check ci
 
-all: ci
+all: check
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +29,14 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'Parallel|Batch' -benchmem -run '^$$' .
 
+# bench-json records the perf trajectory as a test2json stream: the
+# parallel E-cost and unassigned-scan benches plus the incremental-vs-
+# scratch swap evaluator pair (the PR-3 tentpole's ≥5× claim).
+bench-json:
+	$(GO) test -json -run '^$$' -benchmem \
+		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$' \
+		. > BENCH_PR3.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/sensornet
@@ -35,4 +44,6 @@ examples:
 	$(GO) run ./examples/adversarial
 	$(GO) run ./examples/streaming
 
-ci: vet build test test-race
+check: vet build test test-race
+
+ci: check

@@ -102,15 +102,21 @@ func BenchmarkTable1Row5(b *testing.B) {
 	}
 }
 
-// BenchmarkTable1Row6 — unrestricted assigned, Gonzalez pipeline (factor 4).
+// BenchmarkTable1Row6 — unassigned/unrestricted objective: multi-start
+// single-swap local search over a snapped candidate set (all point
+// locations) on the exact evaluator, via SolveUnassignedLS behind
+// Solver.SolveUnassigned. The paper defines this version but gives no
+// algorithm; sizes are modest because each swap round scans the whole
+// candidate neighborhood.
 func BenchmarkTable1Row6(b *testing.B) {
-	pts := benchEuclidean(b, 500, 5, 2)
+	ctx := context.Background()
+	pts := benchEuclidean(b, 60, 3, 2)
+	inst := ukc.NewEuclideanInstance(pts)
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithMaxIter(2))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ukc.SolveEuclidean(pts, 5, ukc.EuclideanOptions{
-			Rule: ukc.RuleEP, Solver: ukc.SolverGonzalez,
-		}); err != nil {
+		if _, _, err := solver.SolveUnassigned(ctx, inst, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -431,6 +437,70 @@ func BenchmarkUnassignedParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchSink keeps the compiler from eliding benchmark evaluations.
+var benchSink float64
+
+// BenchmarkSwapIncremental — the tentpole old-vs-new pair: one full
+// neighborhood scan (every candidate evaluated as a swap at one position)
+// on the exact unassigned objective, from-scratch versus through the
+// incremental SwapEvaluator. n=200, m=200, k=8, z=4, single worker, so the
+// gap is algorithmic (no parallelism): the scratch path pays O(n·z·k)
+// metric calls + an O(nz log nz) event sort per candidate, the incremental
+// path a single O(nz) merge of presorted streams. The evaluator build is
+// outside the timed loop — it is paid once per solve and amortizes over
+// k·m·rounds evaluations. ReportAllocs pins the incremental path's O(1)
+// allocations per swap evaluation (the per-position PrepareBase sort is the
+// only allocator, amortized over the m-candidate scan).
+func BenchmarkSwapIncremental(b *testing.B) {
+	ctx := context.Background()
+	pts := benchEuclidean(b, 200, 4, 2)
+	rng := rand.New(rand.NewSource(9))
+	cands := make([]geom.Vec, 200)
+	for i := range cands {
+		cands[i] = geom.Vec{rng.NormFloat64() * 4, rng.NormFloat64() * 4}
+	}
+	space := metricspace.Euclidean{}
+	k := 8
+	chosen := make([]int, k)
+	for i := range chosen {
+		chosen[i] = i * len(cands) / k
+	}
+	b.Run("scratch", func(b *testing.B) {
+		centers := make([]geom.Vec, k)
+		for i, c := range chosen {
+			centers[i] = cands[c]
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pos := i % k
+			for c := range cands {
+				centers[pos] = cands[c]
+				cost, err := core.EcostUnassigned[geom.Vec](space, pts, centers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink += cost
+			}
+			centers[pos] = cands[chosen[pos]]
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		ev, err := core.NewSwapEvaluator[geom.Vec](ctx, space, pts, cands, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch := ev.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.PrepareBase(chosen, i%k)
+			for c := range cands {
+				benchSink += ev.EvalSwap(scratch, c)
+			}
+		}
+	})
 }
 
 // BenchmarkBatchThroughput — the serving primitive: many instances through

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/emax"
+	"repro/internal/metricspace"
+	"repro/internal/par"
+	"repro/internal/uncertain"
+)
+
+// SwapEvaluator is the incremental exact evaluator for the unassigned
+// objective Ecost(C) = E[max_i min_{c∈C} d(X_i, c)] over center sets drawn
+// from a fixed candidate set.
+//
+// Construction flattens the instance into N = Σ_i |{j : p_ij > 0}| support
+// atoms and caches, for every candidate c, the column of distances
+// d(loc_f, candidate_c) over all atoms f — the full n×m table of per-point
+// distance RVs — together with a permutation of the atoms sorted by that
+// distance. Both are computed once (parallelized over candidates) and are
+// immutable afterwards, so every later evaluation makes zero metric calls.
+//
+// A neighborhood scan then factors through PrepareBase: for one scan
+// position it precomputes each atom's min distance over the k−1 *unchanged*
+// centers (plus the sorted order of those mins), after which EvalSwap(c) is
+// a linear merge of two presorted streams — the base and candidate c's
+// column — directly into the sorted event stream of the swapped set's
+// min-distance RVs, fed to the allocation-free emax sweep. Per-candidate
+// cost drops from O(N·k) metric calls + an O(N log N) sort to a single
+// O(N) merge + the sweep, with no allocations in steady state.
+//
+// The evaluator is immutable after construction except for the base
+// buffers, which PrepareBase/Cost overwrite: prepare a base, then fan
+// EvalSwap out over candidates (each worker with its own SwapScratch), then
+// prepare the next. Costs are value-identical to EcostUnassigned up to
+// floating-point summation order (events with equal distance may merge in a
+// different order than the from-scratch sort), which the tests pin at
+// ≤ 1e-12 relative.
+//
+// Memory: the table holds one float64 distance and one int32 sort index per
+// (candidate, atom) pair — 12·m·N bytes, e.g. ~96 MB for n = m = 1000,
+// z = 8. LocalSearchOptions.DisableSwapCache (ukc.WithSwapCache(false))
+// falls back to the from-scratch scan when that is too much.
+type SwapEvaluator[P any] struct {
+	nPts  int       // number of uncertain points
+	ptIdx []int32   // atom f -> index of the point it belongs to
+	probs []float64 // atom f -> its (positive) probability mass
+	cols  [][]float64
+	order [][]int32
+
+	// Base state for the current scan position (PrepareBase).
+	baseVals  []float64 // atom f -> min distance over the unchanged centers
+	baseOrder []int32   // atoms sorted ascending by baseVals
+	baseLen   int       // 0 when there are no unchanged centers (k = 1)
+}
+
+// SwapScratch is the per-worker mutable state of EvalSwap: the merged event
+// stream, the first-occurrence stamps of the merge, and the sweep arena.
+// One scratch must not be used by two goroutines concurrently; a
+// neighborhood scan hands each worker slot its own via NewScratch.
+type SwapScratch struct {
+	events []emax.Event
+	seen   []int32
+	epoch  int32
+	arena  emax.Arena
+}
+
+// NewSwapEvaluator builds the distance-RV cache for (pts, candidates):
+// m candidate columns over the N positive-probability support atoms, each
+// column sorted once. The build fans out over candidates on `workers`
+// goroutines and honors ctx. Points are assumed already validated (the
+// solve entry points run uncertain.ValidateSet); candidates must be
+// nonempty.
+func NewSwapEvaluator[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, workers int) (*SwapEvaluator[P], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if space == nil {
+		return nil, fmt.Errorf("core: SwapEvaluator with nil space")
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: SwapEvaluator needs candidates")
+	}
+	var n int
+	for _, p := range pts {
+		for _, pr := range p.Probs {
+			if pr > 0 {
+				n++
+			}
+		}
+	}
+	e := &SwapEvaluator[P]{
+		nPts:  len(pts),
+		ptIdx: make([]int32, 0, n),
+		probs: make([]float64, 0, n),
+	}
+	locs := make([]P, 0, n)
+	for i, p := range pts {
+		for j, pr := range p.Probs {
+			if pr > 0 {
+				e.ptIdx = append(e.ptIdx, int32(i))
+				e.probs = append(e.probs, pr)
+				locs = append(locs, p.Locs[j])
+			}
+		}
+	}
+	e.cols = make([][]float64, len(candidates))
+	e.order = make([][]int32, len(candidates))
+	err := par.For(ctx, len(candidates), workers, func(c int) {
+		col := make([]float64, len(locs))
+		for f, loc := range locs {
+			col[f] = space.Dist(loc, candidates[c])
+		}
+		ord := make([]int32, len(col))
+		for f := range ord {
+			ord[f] = int32(f)
+		}
+		sort.Slice(ord, func(x, y int) bool { return col[ord[x]] < col[ord[y]] })
+		e.cols[c] = col
+		e.order[c] = ord
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.baseVals = make([]float64, len(locs))
+	e.baseOrder = make([]int32, len(locs))
+	return e, nil
+}
+
+// NumAtoms returns N, the number of positive-probability support atoms —
+// the per-candidate column length of the cache.
+func (e *SwapEvaluator[P]) NumAtoms() int { return len(e.probs) }
+
+// NewScratch returns a fresh per-worker scratch sized for this evaluator.
+func (e *SwapEvaluator[P]) NewScratch() *SwapScratch {
+	return &SwapScratch{
+		events: make([]emax.Event, 0, len(e.probs)),
+		seen:   make([]int32, len(e.probs)),
+	}
+}
+
+// PrepareBase fixes the scan position: it computes every atom's min
+// distance over chosen[j] for j ≠ pos and sorts the atoms by it, the shared
+// read-only input of the EvalSwap calls that follow. Cost: O(N·(k−1)) mins
+// plus one O(N log N) sort, amortized over the whole candidate scan.
+// PrepareBase must not run concurrently with EvalSwap.
+func (e *SwapEvaluator[P]) PrepareBase(chosen []int, pos int) {
+	bv := e.baseVals
+	for f := range bv {
+		bv[f] = math.Inf(1)
+	}
+	unchanged := 0
+	for j, c := range chosen {
+		if j == pos {
+			continue
+		}
+		unchanged++
+		for f, v := range e.cols[c] {
+			if v < bv[f] {
+				bv[f] = v
+			}
+		}
+	}
+	if unchanged == 0 { // k = 1: the candidate column alone is the whole set
+		e.baseLen = 0
+		return
+	}
+	ord := e.baseOrder
+	for f := range ord {
+		ord[f] = int32(f)
+	}
+	sort.Slice(ord, func(x, y int) bool { return bv[ord[x]] < bv[ord[y]] })
+	e.baseLen = len(ord)
+}
+
+// EvalSwap returns the exact unassigned E-cost of the center set formed by
+// the prepared base plus candidates[c] — i.e. chosen with chosen[pos]
+// replaced by c, for the (chosen, pos) of the last PrepareBase. It merges
+// the two presorted streams, keeping each atom's first (smaller) occurrence,
+// which is exactly the sorted event stream of min(base_f, col_f) over all
+// atoms, then runs the emax sweep. O(N) plus the sweep; allocation-free in
+// steady state. Safe to call concurrently with itself given distinct
+// scratches.
+func (e *SwapEvaluator[P]) EvalSwap(s *SwapScratch, c int) float64 {
+	s.epoch++
+	if s.epoch <= 0 { // stamp wrap: reset and start over
+		for f := range s.seen {
+			s.seen[f] = 0
+		}
+		s.epoch = 1
+	}
+	bo := e.baseOrder[:e.baseLen]
+	co := e.order[c]
+	bv, cv := e.baseVals, e.cols[c]
+	events := s.events[:0]
+	bi, ci := 0, 0
+	for bi < len(bo) || ci < len(co) {
+		var f int32
+		var v float64
+		if ci >= len(co) || (bi < len(bo) && bv[bo[bi]] <= cv[co[ci]]) {
+			f = bo[bi]
+			v = bv[f]
+			bi++
+		} else {
+			f = co[ci]
+			v = cv[f]
+			ci++
+		}
+		if s.seen[f] == s.epoch {
+			continue // the larger of the atom's two occurrences
+		}
+		s.seen[f] = s.epoch
+		events = append(events, emax.Event{Val: v, Prob: e.probs[f], RV: e.ptIdx[f]})
+	}
+	return s.arena.SweepSorted(events, e.nPts)
+}
+
+// Cost returns the exact unassigned E-cost of the chosen candidate set
+// itself, through the same cached columns. It reuses the base buffers
+// (base = chosen minus its first element, candidate = that element), so any
+// previously prepared base must be re-prepared afterwards.
+func (e *SwapEvaluator[P]) Cost(s *SwapScratch, chosen []int) float64 {
+	if len(chosen) == 0 {
+		return 0
+	}
+	e.PrepareBase(chosen, 0)
+	return e.EvalSwap(s, chosen[0])
+}
+
+// EcostSweepCtx evaluates the full single-swap neighborhood of a center set
+// on the exact unassigned objective: out[pos][c] is the E-cost of chosen
+// with chosen[pos] replaced by candidates[c]. out[pos][chosen[pos]] is the
+// cost of the chosen set itself, and a column already in the set yields the
+// cost of the correspondingly shrunk set (duplicate centers don't change a
+// min). One evaluator build (O(m·N) metric calls) serves all k·m entries;
+// the per-position scans fan out over `workers` goroutines with
+// bit-identical results and honor ctx. disableCache skips the 12·m·N-byte
+// distance-RV table and evaluates every entry from scratch (the memory
+// escape hatch, ≤ 1e-12 relative from the cached values).
+func EcostSweepCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, chosen []int, workers int, disableCache bool) ([][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, err
+	}
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("core: EcostSweep with no centers")
+	}
+	for _, c := range chosen {
+		if c < 0 || c >= len(candidates) {
+			return nil, fmt.Errorf("core: EcostSweep center index %d out of range [0,%d)", c, len(candidates))
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if disableCache {
+		return ecostSweepScratch(ctx, space, pts, candidates, chosen, workers)
+	}
+	ev, err := NewSwapEvaluator(ctx, space, pts, candidates, workers)
+	if err != nil {
+		return nil, err
+	}
+	scratches := make([]*SwapScratch, workers)
+	for w := range scratches {
+		scratches[w] = ev.NewScratch()
+	}
+	out := make([][]float64, len(chosen))
+	for pos := range chosen {
+		ev.PrepareBase(chosen, pos)
+		row := make([]float64, len(candidates))
+		if err := par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
+			row[c] = ev.EvalSwap(scratches[w], c)
+		}); err != nil {
+			return nil, err
+		}
+		out[pos] = row
+	}
+	return out, nil
+}
+
+// ecostSweepScratch is EcostSweepCtx without the distance-RV table: every
+// (position, candidate) entry is a from-scratch exact evaluation on a
+// per-worker center buffer.
+func ecostSweepScratch[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, chosen []int, workers int) ([][]float64, error) {
+	base := make([]P, len(chosen))
+	for i, c := range chosen {
+		base[i] = candidates[c]
+	}
+	bufs := make([][]P, workers)
+	for w := range bufs {
+		bufs[w] = make([]P, len(chosen))
+	}
+	errs := make([]error, len(candidates))
+	out := make([][]float64, len(chosen))
+	for pos := range chosen {
+		row := make([]float64, len(candidates))
+		if err := par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
+			centers := bufs[w]
+			copy(centers, base)
+			centers[pos] = candidates[c]
+			row[c], errs[c] = ecostUnassignedRaw(space, pts, centers)
+		}); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[pos] = row
+	}
+	return out, nil
+}

@@ -20,6 +20,14 @@ type LocalSearchOptions struct {
 	// as in the sequential scan, and the winning swap is selected by the
 	// same deterministic left-to-right rule over the computed costs.
 	Parallelism int
+	// DisableSwapCache turns off the incremental SwapEvaluator (the
+	// n×m distance-RV cache plus per-position base precomputation) and
+	// falls back to from-scratch evaluation of every candidate swap — the
+	// cross-check oracle. The cache costs ~12 bytes per (candidate, support
+	// atom) pair; disable it when m·Σz_i is too large to hold in memory.
+	// Costs agree with the cached path to ≤ 1e-12 relative and the swap
+	// trajectories are identical (pinned by tests).
+	DisableSwapCache bool
 }
 
 // Workers normalizes Parallelism to a worker count; see Options.Workers.
@@ -90,10 +98,19 @@ func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], p
 		greedySeed(space, surr, candidates, k),
 		farthestFirstSeed(space, candidates, k),
 	}
+	// The distance-RV cache depends only on (pts, candidates), so one build
+	// serves every seed's descent.
+	var ev *SwapEvaluator[P]
+	if !opts.DisableSwapCache {
+		ev, err = NewSwapEvaluator(ctx, space, pts, candidates, opts.Workers())
+		if err != nil {
+			return nil, 0, err
+		}
+	}
 	var bestCenters []P
 	bestCost := math.Inf(1)
 	for _, seed := range seeds {
-		centers, cost, err := swapDescent(ctx, space, pts, candidates, seed, maxIter, opts.Workers())
+		centers, cost, err := swapDescent(ctx, space, pts, candidates, seed, maxIter, opts.Workers(), ev)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -109,7 +126,16 @@ func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], p
 // every out-of-set candidate on the worker pool, then applies the
 // deterministic left-to-right selection rule over the computed costs, so
 // any worker count yields the sequential trajectory.
-func swapDescent[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, seed []int, maxIter, workers int) ([]P, float64, error) {
+//
+// With a non-nil SwapEvaluator the scan runs on the incremental path: one
+// PrepareBase per position, then a zero-metric-call, allocation-free
+// EvalSwap per candidate. With ev == nil it evaluates every swap from
+// scratch (the cross-check oracle), reusing one hoisted base slice and one
+// center buffer per worker across the whole descent.
+func swapDescent[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, seed []int, maxIter, workers int, ev *SwapEvaluator[P]) ([]P, float64, error) {
+	if workers < 1 {
+		workers = 1
+	}
 	chosen := append([]int(nil), seed...)
 	sel := func(idx []int) []P {
 		out := make([]P, len(idx))
@@ -118,42 +144,79 @@ func swapDescent[P any](ctx context.Context, space metricspace.Space[P], pts []u
 		}
 		return out
 	}
-	cost, err := ecostUnassignedRaw(space, pts, sel(chosen))
-	if err != nil {
-		return nil, 0, err
-	}
 	inSet := make(map[int]bool, len(chosen))
 	for _, c := range chosen {
 		inSet[c] = true
 	}
 	costs := make([]float64, len(candidates))
-	errs := make([]error, len(candidates))
+
+	// scanPos fills costs[c] with the exact cost of replacing chosen[pos]
+	// by c, for every out-of-set c.
+	var cost float64
+	var scanPos func(pos int) error
+	if ev != nil {
+		scratches := make([]*SwapScratch, workers)
+		for w := range scratches {
+			scratches[w] = ev.NewScratch()
+		}
+		cost = ev.Cost(scratches[0], chosen)
+		scanPos = func(pos int) error {
+			ev.PrepareBase(chosen, pos)
+			return par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
+				if inSet[c] {
+					return
+				}
+				costs[c] = ev.EvalSwap(scratches[w], c)
+			})
+		}
+	} else {
+		var err error
+		if cost, err = ecostUnassignedRaw(space, pts, sel(chosen)); err != nil {
+			return nil, 0, err
+		}
+		base := make([]P, len(chosen))
+		bufs := make([][]P, workers)
+		for w := range bufs {
+			bufs[w] = make([]P, len(chosen))
+		}
+		errs := make([]error, len(candidates))
+		scanPos = func(pos int) error {
+			for i, c := range chosen {
+				base[i] = candidates[c]
+			}
+			if err := par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
+				if inSet[c] {
+					return
+				}
+				centers := bufs[w]
+				copy(centers, base)
+				centers[pos] = candidates[c]
+				costs[c], errs[c] = ecostUnassignedRaw(space, pts, centers)
+			}); err != nil {
+				return err
+			}
+			for c, err := range errs {
+				if err != nil && !inSet[c] {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
 	for iter := 0; iter < maxIter; iter++ {
 		improved := false
 		for pos := 0; pos < len(chosen); pos++ {
 			old := chosen[pos]
-			base := sel(chosen)
 			// Scan the swap neighborhood: exact cost of replacing
 			// chosen[pos] by each out-of-set candidate.
-			err := par.For(ctx, len(candidates), workers, func(c int) {
-				if inSet[c] {
-					return
-				}
-				centers := make([]P, len(base))
-				copy(centers, base)
-				centers[pos] = candidates[c]
-				costs[c], errs[c] = ecostUnassignedRaw(space, pts, centers)
-			})
-			if err != nil {
+			if err := scanPos(pos); err != nil {
 				return nil, 0, err
 			}
 			bestC, bestCost := -1, cost
 			for c := range candidates {
 				if inSet[c] {
 					continue
-				}
-				if errs[c] != nil {
-					return nil, 0, errs[c]
 				}
 				if costs[c] < bestCost*(1-1e-9) {
 					bestC, bestCost = c, costs[c]

@@ -83,59 +83,110 @@ func (r RV) Sample(rng *rand.Rand) float64 {
 	return r.Vals[len(r.Vals)-1] // guard against rounding of the prefix sums
 }
 
-type event struct {
-	val  float64
-	rv   int
-	prob float64
+// Event is one support atom in an expected-max sweep: value Val carrying
+// probability mass Prob, belonging to the random variable with index RV.
+// A stream of Events sorted ascending by Val is the input contract of
+// Arena.SweepSorted — the allocation-free core of ExpectedMax that callers
+// with presorted supports (the incremental swap evaluator in internal/core)
+// drive directly, skipping the per-call event build and sort.
+type Event struct {
+	Val  float64
+	Prob float64
+	RV   int32
+}
+
+// Arena carries the reusable scratch buffers of repeated expected-max
+// sweeps: the event stream and the per-RV CDF/log-CDF state. A zero Arena
+// is ready to use; buffers grow to the high-water mark of the evaluations
+// run through it and are reused afterwards, so steady-state evaluations of
+// same-shaped inputs do not allocate. An Arena is not safe for concurrent
+// use; give each worker its own.
+type Arena struct {
+	events []Event
+	cdf    []float64
+	logCdf []float64
 }
 
 // ExpectedMax returns E[max_i X_i] for independent X_i, exactly (up to
 // floating point), via the merged-CDF sweep. It returns an error if any RV
 // fails Validate; an empty slice has expected max 0 by convention.
 func ExpectedMax(rvs []RV) (float64, error) {
+	var a Arena
+	return a.ExpectedMax(rvs)
+}
+
+// ExpectedMax is the package-level ExpectedMax evaluated on the arena's
+// reusable buffers: identical validation, identical result, no steady-state
+// allocations beyond sort.Slice's closure.
+func (a *Arena) ExpectedMax(rvs []RV) (float64, error) {
 	if len(rvs) == 0 {
 		return 0, nil
 	}
-	var events []event
+	events := a.events[:0]
 	for i, r := range rvs {
 		if err := r.Validate(); err != nil {
 			return 0, fmt.Errorf("rv %d: %w", i, err)
 		}
 		for j, v := range r.Vals {
 			if r.Probs[j] > 0 {
-				events = append(events, event{v, i, r.Probs[j]})
+				events = append(events, Event{Val: v, Prob: r.Probs[j], RV: int32(i)})
 			}
 		}
 	}
-	sort.Slice(events, func(a, b int) bool { return events[a].val < events[b].val })
+	a.events = events
+	sort.Slice(events, func(x, y int) bool { return events[x].Val < events[y].Val })
+	return a.SweepSorted(events, len(rvs)), nil
+}
+
+// SweepSorted computes E[max] from an event stream already sorted ascending
+// by Val, for nRVs random variables indexed 0..nRVs-1. It is the sweep of
+// ExpectedMax with the validation and the sort stripped; the caller
+// guarantees the order, that every Prob is positive, and that each RV's
+// total mass is 1 within ProbSumTol. Given a warmed arena it performs no
+// allocations — the contract the incremental swap evaluator's benchmarks
+// pin with ReportAllocs.
+func (a *Arena) SweepSorted(events []Event, nRVs int) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	if cap(a.cdf) < nRVs {
+		a.cdf = make([]float64, nRVs)
+		a.logCdf = make([]float64, nRVs)
+	}
+	cdf, logCdf := a.cdf[:nRVs], a.logCdf[:nRVs]
+	for i := range cdf {
+		cdf[i] = 0
+	}
 
 	// Sweep values in ascending order maintaining G(t) = Π_i F_i(t).
 	// F_i starts at 0, so track the count of zero factors separately and keep
-	// the product of the non-zero factors; G is zero until zeros == 0.
-	cdf := make([]float64, len(rvs))
-	zeros := len(rvs)
-	logProd := 0.0 // Σ log F_i over i with F_i > 0, for drift-free updates
+	// Σ log F_i over the non-zero factors for drift-free updates; G is zero
+	// until zeros == 0. logCdf caches log F_i so each event costs one Log.
+	zeros := nRVs
+	logProd := 0.0
 
 	var expected float64
 	prevG := 0.0
 	i := 0
 	for i < len(events) {
-		t := events[i].val
+		t := events[i].Val
 		// Apply every event at this exact value before reading G(t).
-		for i < len(events) && events[i].val == t {
+		for i < len(events) && events[i].Val == t {
 			e := events[i]
-			old := cdf[e.rv]
-			nw := old + e.prob
+			old := cdf[e.RV]
+			nw := old + e.Prob
 			if nw > 1 {
 				nw = 1 // clamp prefix-sum rounding
 			}
-			cdf[e.rv] = nw
+			cdf[e.RV] = nw
+			lg := math.Log(nw)
 			if old == 0 {
 				zeros--
-				logProd += math.Log(nw)
+				logProd += lg
 			} else {
-				logProd += math.Log(nw) - math.Log(old)
+				logProd += lg - logCdf[e.RV]
 			}
+			logCdf[e.RV] = lg
 			i++
 		}
 		var g float64
@@ -150,7 +201,7 @@ func ExpectedMax(rvs []RV) (float64, error) {
 			prevG = g
 		}
 	}
-	return expected, nil
+	return expected
 }
 
 // ExpectedMaxNaive enumerates all Π z_i joint realizations. It is the test

@@ -3,6 +3,7 @@ package emax
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -374,4 +375,90 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// randomRVs draws n RVs on a coarse value grid (duplicates likely) for the
+// arena property tests.
+func randomRVs(rng *rand.Rand, n int) []RV {
+	rvs := make([]RV, n)
+	for i := range rvs {
+		z := 1 + rng.Intn(5)
+		vals := make([]float64, z)
+		probs := make([]float64, z)
+		var sum float64
+		for j := range vals {
+			vals[j] = math.Round(rng.NormFloat64()*100) / 10
+			probs[j] = rng.Float64() + 0.01
+			sum += probs[j]
+		}
+		for j := range probs {
+			probs[j] /= sum
+		}
+		rvs[i] = RV{Vals: vals, Probs: probs}
+	}
+	return rvs
+}
+
+// TestArenaExpectedMaxMatches pins the buffer-reusing arena path to the
+// package-level ExpectedMax bit-for-bit, reusing one arena across trials so
+// stale buffer state would be caught.
+func TestArenaExpectedMaxMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	var a Arena
+	for trial := 0; trial < 200; trial++ {
+		rvs := randomRVs(rng, 1+rng.Intn(8))
+		want, err := ExpectedMax(rvs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.ExpectedMax(rvs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: arena %g != package %g", trial, got, want)
+		}
+	}
+}
+
+// TestArenaExpectedMaxValidates: the arena path keeps the validation
+// contract of the package-level function.
+func TestArenaExpectedMaxValidates(t *testing.T) {
+	var a Arena
+	if _, err := a.ExpectedMax([]RV{{Vals: []float64{1}, Probs: []float64{0.5}}}); err == nil {
+		t.Fatal("invalid RV accepted")
+	}
+	if got, err := a.ExpectedMax(nil); err != nil || got != 0 {
+		t.Fatalf("empty input: got %g, %v", got, err)
+	}
+}
+
+// TestSweepSortedMatchesExpectedMax feeds SweepSorted a hand-sorted event
+// stream and checks it against the full evaluator, including events that
+// share exact values across RVs (the apply-all-at-t batch path).
+func TestSweepSortedMatchesExpectedMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	var a Arena
+	for trial := 0; trial < 200; trial++ {
+		rvs := randomRVs(rng, 1+rng.Intn(8))
+		var events []Event
+		for i, r := range rvs {
+			for j, v := range r.Vals {
+				if r.Probs[j] > 0 {
+					events = append(events, Event{Val: v, Prob: r.Probs[j], RV: int32(i)})
+				}
+			}
+		}
+		sort.Slice(events, func(x, y int) bool { return events[x].Val < events[y].Val })
+		want, err := ExpectedMax(rvs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.SweepSorted(events, len(rvs)); got != want {
+			t.Fatalf("trial %d: SweepSorted %g != ExpectedMax %g", trial, got, want)
+		}
+	}
+	if got := a.SweepSorted(nil, 0); got != 0 {
+		t.Fatalf("empty sweep: %g", got)
+	}
 }

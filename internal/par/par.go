@@ -42,6 +42,18 @@ func Workers(n int) int {
 // fn must not panic across indices it does not own; indices are distributed
 // in contiguous chunks so writes to out[i] never contend.
 func For(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForWorker(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker slot exposed: fn(w, i) runs with
+// w ∈ [0, min(workers, n)) identifying the goroutine that claimed index i,
+// so callers can hand each worker its own scratch buffers (the incremental
+// swap evaluator's per-worker merge arenas) without synchronization. The
+// slot is stable for the lifetime of one ForWorker call and never shared by
+// two concurrent fn invocations; the sequential path always passes w = 0.
+// The determinism contract is For's: which worker claims an index affects
+// only the scratch it uses, never the result written for that index.
+func ForWorker(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -55,7 +67,7 @@ func For(ctx context.Context, n, workers int, fn func(i int)) error {
 					return err
 				}
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return ctx.Err()
 	}
@@ -81,7 +93,7 @@ func For(ctx context.Context, n, workers int, fn func(i int)) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -92,10 +104,10 @@ func For(ctx context.Context, n, workers int, fn func(i int)) error {
 					return
 				}
 				for i := lo; i < hi; i++ {
-					fn(i)
+					fn(w, i)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()

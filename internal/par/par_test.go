@@ -68,3 +68,45 @@ func TestWorkers(t *testing.T) {
 		t.Fatal("Workers must default to at least 1")
 	}
 }
+
+func TestForWorkerCoversAllIndicesWithValidSlots(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 100
+		hits := make([]int32, n)   // hits[i] = 1 + worker slot that ran i
+		err := par.ForWorker(context.Background(), n, workers, func(w, i int) {
+			atomic.AddInt32(&hits[i], int32(w)+1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h < 1 || h > int32(workers) {
+				t.Fatalf("workers=%d: index %d hit-sum %d (double visit or slot out of range)", workers, i, h)
+			}
+			if workers == 1 && h != 1 {
+				t.Fatalf("sequential path used worker slot %d for index %d", h-1, i)
+			}
+		}
+	}
+}
+
+func TestForWorkerScratchIsolation(t *testing.T) {
+	// Each worker slot owns one scratch counter; the per-slot counters must
+	// sum to n without any synchronization inside fn — the property the
+	// incremental swap evaluator relies on.
+	workers, n := 4, 1000
+	scratch := make([][8]int64, workers) // padded to defeat false sharing
+	err := par.ForWorker(context.Background(), n, workers, func(w, i int) {
+		scratch[w][0]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for w := range scratch {
+		total += scratch[w][0]
+	}
+	if total != int64(n) {
+		t.Fatalf("scratch counters sum to %d, want %d", total, n)
+	}
+}

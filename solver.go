@@ -3,6 +3,7 @@ package ukc
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/clusterx"
@@ -93,9 +94,48 @@ func (s *Solver[P]) SolveUnassigned(ctx context.Context, inst Instance[P], k int
 		return nil, 0, fmt.Errorf("ukc: instance with nil space")
 	}
 	return core.SolveUnassignedLS(ctx, inst.Space, inst.Points, inst.candidatesOrLocations(), k, core.LocalSearchOptions{
-		MaxIter:     s.cfg.maxIter,
-		Parallelism: s.cfg.opts.Parallelism,
+		MaxIter:          s.cfg.maxIter,
+		Parallelism:      s.cfg.opts.Parallelism,
+		DisableSwapCache: s.cfg.noSwapCache,
 	})
+}
+
+// EcostSweep evaluates the full single-swap neighborhood of a center set on
+// the exact unassigned objective. Each center is snapped to its nearest
+// candidate in the instance's candidate set (defaulting to all point
+// locations); the returned matrix has sweep[pos][c] = the exact E-cost of
+// the snapped set with position pos replaced by candidate c, and
+// sweep[pos][snapped[pos]] is the cost of the snapped set itself. One
+// distance-RV cache build serves all k·m evaluations (see
+// core.SwapEvaluator) unless WithSwapCache(false) selected the from-scratch
+// path; the scans run on the solver's worker pool with bit-identical
+// results and honor ctx.
+func (s *Solver[P]) EcostSweep(ctx context.Context, inst Instance[P], centers []P) (sweep [][]float64, snapped []int, err error) {
+	if inst.Space == nil {
+		return nil, nil, fmt.Errorf("ukc: instance with nil space")
+	}
+	if len(centers) == 0 {
+		return nil, nil, fmt.Errorf("ukc: EcostSweep with no centers")
+	}
+	cands := inst.candidatesOrLocations()
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("ukc: instance with no candidates")
+	}
+	snapped = make([]int, len(centers))
+	for i, ctr := range centers {
+		best, bestD := 0, math.Inf(1)
+		for c, cand := range cands {
+			if d := inst.Space.Dist(ctr, cand); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		snapped[i] = best
+	}
+	sweep, err = core.EcostSweepCtx(ctx, inst.Space, inst.Points, cands, snapped, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers(), s.cfg.noSwapCache)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sweep, snapped, nil
 }
 
 // SolveKMedian solves the uncertain k-median (expected sum of distances)

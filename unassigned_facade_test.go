@@ -1,6 +1,7 @@
 package ukc_test
 
 import (
+	"context"
 	"testing"
 
 	ukc "repro"
@@ -65,5 +66,87 @@ func TestFacadeSolveUnassignedMetric(t *testing.T) {
 	// Two centers on a 5-path with endpoints-pair points: cost ≤ 1.
 	if cost > 1+1e-9 {
 		t.Errorf("cost = %g, want ≤ 1", cost)
+	}
+}
+
+// TestSolverEcostSweep: the public neighborhood-sweep API snaps centers to
+// candidates, its diagonal entries equal the snapped set's exact cost, and
+// WithParallelism leaves the matrix bit-identical.
+func TestSolverEcostSweep(t *testing.T) {
+	ctx := context.Background()
+	pts := demoPoints(t)
+	inst := ukc.NewEuclideanInstance(pts)
+	solver := ukc.NewSolver[ukc.Vec]()
+	centers, _, err := solver.SolveUnassigned(ctx, inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, snapped, err := solver.EcostSweep(ctx, inst, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := uncertain.AllLocations(pts)
+	if len(sweep) != len(centers) || len(snapped) != len(centers) {
+		t.Fatalf("sweep %d rows, snapped %d, want %d", len(sweep), len(snapped), len(centers))
+	}
+	snappedSet := make([]ukc.Vec, len(snapped))
+	for i, c := range snapped {
+		if c < 0 || c >= len(cands) {
+			t.Fatalf("snapped[%d] = %d out of range", i, c)
+		}
+		snappedSet[i] = cands[c]
+	}
+	want, err := solver.EcostUnassigned(ctx, inst, snappedSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range sweep {
+		if len(sweep[pos]) != len(cands) {
+			t.Fatalf("row %d has %d entries, want %d", pos, len(sweep[pos]), len(cands))
+		}
+		diag := sweep[pos][snapped[pos]]
+		if d := (diag - want) / (1 + want); d > 1e-12 || d < -1e-12 {
+			t.Errorf("row %d diagonal %g, set cost %g", pos, diag, want)
+		}
+	}
+	par, _, err := ukc.NewSolver[ukc.Vec](ukc.WithParallelism(4)).EcostSweep(ctx, inst, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range sweep {
+		for c := range sweep[pos] {
+			if par[pos][c] != sweep[pos][c] {
+				t.Fatalf("parallel sweep[%d][%d] = %g != %g", pos, c, par[pos][c], sweep[pos][c])
+			}
+		}
+	}
+}
+
+// TestWithSwapCacheEquivalence: the escape hatch returns the same centers
+// and cost as the default cached path through the public Solver.
+func TestWithSwapCacheEquivalence(t *testing.T) {
+	ctx := context.Background()
+	pts := demoPoints(t)
+	inst := ukc.NewEuclideanInstance(pts)
+	cachedC, cachedCost, err := ukc.NewSolver[ukc.Vec]().SolveUnassigned(ctx, inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleC, oracleCost, err := ukc.NewSolver[ukc.Vec](ukc.WithSwapCache(false)).SolveUnassigned(ctx, inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := (cachedCost - oracleCost) / (1 + oracleCost); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("cached cost %g, oracle cost %g", cachedCost, oracleCost)
+	}
+	if len(cachedC) != len(oracleC) {
+		t.Fatalf("%d centers vs %d", len(cachedC), len(oracleC))
+	}
+	for i := range cachedC {
+		for d := range cachedC[i] {
+			if cachedC[i][d] != oracleC[i][d] {
+				t.Fatalf("center %d differs: %v vs %v", i, cachedC[i], oracleC[i])
+			}
+		}
 	}
 }
