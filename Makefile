@@ -5,6 +5,10 @@
 
 GO ?= go
 
+# Perf-trajectory output of bench-json. Bump per PR so the repository
+# accumulates a benchmark history (BENCH_PR3.json, BENCH_PR4.json, ...).
+BENCH_OUT ?= BENCH_PR4.json
+
 .PHONY: all vet build test test-race bench bench-parallel bench-json examples check ci
 
 all: check
@@ -29,13 +33,15 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'Parallel|Batch' -benchmem -run '^$$' .
 
-# bench-json records the perf trajectory as a test2json stream: the
-# parallel E-cost and unassigned-scan benches plus the incremental-vs-
-# scratch swap evaluator pair (the PR-3 tentpole's ≥5× claim).
+# bench-json records the perf trajectory as a test2json stream into
+# $(BENCH_OUT): the parallel E-cost and unassigned-scan benches, the
+# incremental-vs-scratch swap evaluator pair (the PR-3 tentpole's ≥5×
+# claim), and the compiled-vs-fresh repeated-solve pair (the PR-4
+# tentpole's amortization claim).
 bench-json:
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$' \
-		. > BENCH_PR3.json
+		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$|BenchmarkRepeatedSolve$$' \
+		. > $(BENCH_OUT)
 
 examples:
 	$(GO) run ./examples/quickstart

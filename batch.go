@@ -30,6 +30,12 @@ type BatchResult[P any] struct {
 // The pool bounds INSTANCE-level concurrency; combine with the solver's own
 // WithParallelism to split cores between inter- and intra-instance
 // parallelism (e.g. 4 batch workers × 2 solve workers on 8 cores).
+//
+// Compilation is shared across the pool: items holding copies of the same
+// Instance (the SolveAll one-instance-many-k pattern, or repeated
+// submissions of one instance) alias one compiled model, so validation,
+// flattening and the surrogate caches are built once no matter how many
+// workers solve it concurrently.
 type Batch[P any] struct {
 	solver  *Solver[P]
 	workers int
@@ -77,7 +83,8 @@ func (b *Batch[P]) Solve(ctx context.Context, items []BatchItem[P]) []BatchResul
 }
 
 // SolveAll is Solve for the common serving case of one k across many
-// instances.
+// instances (each instance's compiled model is built once and shared by
+// whichever worker solves it).
 func (b *Batch[P]) SolveAll(ctx context.Context, insts []Instance[P], k int) []BatchResult[P] {
 	items := make([]BatchItem[P], len(insts))
 	for i, in := range insts {

@@ -491,14 +491,78 @@ func BenchmarkSwapIncremental(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		scratch := ev.NewScratch()
+		base, scratch := ev.NewBase(), ev.NewScratch()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			ev.PrepareBase(chosen, i%k)
+			ev.PrepareBase(base, chosen, i%k)
 			for c := range cands {
-				benchSink += ev.EvalSwap(scratch, c)
+				benchSink += ev.EvalSwap(base, scratch, c)
 			}
+		}
+	})
+}
+
+// BenchmarkRepeatedSolve — the PR-4 tentpole's amortization claim: solving
+// one instance repeatedly with varying k. "compiled" reuses one instance
+// (the compiled flat model, the memoized 1-center surrogates and the
+// distance-RV evaluator are built once, then shared by every solve);
+// "fresh" rebuilds a new instance per solve — the old per-call path. The
+// second-and-later solves of the compiled instance must be strictly faster.
+func BenchmarkRepeatedSolve(b *testing.B) {
+	ctx := context.Background()
+	pts := benchEuclidean(b, 150, 4, 2)
+	ks := []int{2, 4, 8, 6}
+	solver := ukc.NewSolver[ukc.Vec](
+		ukc.WithSurrogate(ukc.SurrogateOneCenter),
+		ukc.WithRule(ukc.RuleOC),
+	)
+	run := func(b *testing.B, inst func(i int) ukc.Instance[ukc.Vec]) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := solver.Solve(ctx, inst(i), ks[i%len(ks)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += res.Ecost
+		}
+	}
+	b.Run("compiled", func(b *testing.B) {
+		shared := ukc.NewEuclideanInstance(pts)
+		if _, err := shared.Compile(ctx); err != nil { // warm: pay compilation once, outside the loop
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, func(int) ukc.Instance[ukc.Vec] { return shared })
+	})
+	b.Run("fresh", func(b *testing.B) {
+		run(b, func(int) ukc.Instance[ukc.Vec] { return ukc.NewEuclideanInstance(pts) })
+	})
+	// The unassigned objective is where the shared evaluator pays most: one
+	// n×m distance-RV build per instance lifetime instead of per solve.
+	b.Run("unassigned-compiled", func(b *testing.B) {
+		shared := ukc.NewEuclideanInstance(pts)
+		if _, err := shared.Compile(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, cost, err := solver.SolveUnassigned(ctx, shared, 2+i%3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += cost
+		}
+	})
+	b.Run("unassigned-fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, cost, err := solver.SolveUnassigned(ctx, ukc.NewEuclideanInstance(pts), 2+i%3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += cost
 		}
 	})
 }

@@ -12,16 +12,10 @@ import (
 	"math/rand"
 
 	"repro/internal/clusterx"
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/metricspace"
 	"repro/internal/stream"
 )
-
-// solveKMedianCtx bridges the Solver to the clusterx substrate.
-func solveKMedianCtx[P any](ctx context.Context, space Space[P], pts []UncertainPoint[P], candidates []P, k, parallelism int) ([]P, []int, float64, error) {
-	return clusterx.SolveUncertainKMedianCtx(ctx, space, pts, candidates, k, core.Options{Parallelism: parallelism}.Workers())
-}
 
 // SolveKMedian solves the uncertain k-median (expected sum of distances)
 // with the surrogate reduction: 1-center surrogates, discrete local-search

@@ -1,8 +1,11 @@
 package ukc
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"repro/internal/core"
 	"repro/internal/metricspace"
 	"repro/internal/uncertain"
 )
@@ -23,6 +26,24 @@ type Euclidean = metricspace.Euclidean
 // discrete distribution over locations of type P.
 type UncertainPoint[P any] = uncertain.Point[P]
 
+// Compiled is the immutable per-instance compiled representation every
+// pipeline consumes: the uncertain-point model validated, pruned of
+// zero-probability atoms, and flattened into one structure-of-arrays atom
+// arena, plus memoized per-instance caches (both surrogate kinds, the
+// distance-RV swap evaluator) that successive solves share. Obtain one with
+// Instance.Compile; every Solver method compiles implicitly on first use.
+// A Compiled is goroutine-safe and its caches live exactly as long as it
+// does — drop the instance to release them.
+type Compiled[P any] = core.Compiled[P]
+
+// compileCell is the shared once-per-instance compilation cache. Every copy
+// of an Instance made after construction aliases the same cell, so a batch
+// pool, a solver and a direct Compile call all observe one compiled model.
+type compileCell[P any] struct {
+	mu sync.Mutex
+	c  *core.Compiled[P]
+}
+
 // Instance is one uncertain k-center problem instance: a set of uncertain
 // points in a metric space, plus the candidate set discrete algorithms draw
 // centers and surrogates from.
@@ -31,6 +52,16 @@ type UncertainPoint[P any] = uncertain.Point[P]
 // there; discrete solvers then search the surrogate set). Outside Euclidean
 // space a candidate set is required — use NewFiniteInstance or
 // NewGraphInstance, which default it to all space points.
+//
+// An instance built by a constructor carries a shared compilation cache:
+// the first solve (or explicit Compile call) validates, prunes and flattens
+// the points once, and every later solve — from any goroutine, any Solver,
+// or a Batch pool — reuses that compiled model and its memoized caches.
+// Consequently the Space, Points and Candidates fields must be treated as
+// immutable after the first solve; mutating them afterwards leaves the
+// cache describing data that no longer exists. Instances assembled as bare
+// struct literals (without a constructor) still work everywhere but compile
+// per call, uncached.
 type Instance[P any] struct {
 	// Space is the metric the instance lives in.
 	Space Space[P]
@@ -40,18 +71,20 @@ type Instance[P any] struct {
 	// algorithms (exact discrete k-center, k-median, unassigned local
 	// search, discrete 1-center surrogates).
 	Candidates []P
+
+	cc *compileCell[P]
 }
 
 // NewInstance assembles an instance over an arbitrary metric space.
 func NewInstance[P any](space Space[P], pts []UncertainPoint[P], candidates []P) Instance[P] {
-	return Instance[P]{Space: space, Points: pts, Candidates: candidates}
+	return Instance[P]{Space: space, Points: pts, Candidates: candidates, cc: &compileCell[P]{}}
 }
 
 // NewEuclideanInstance wraps Euclidean uncertain points as an instance over
 // R^d with no explicit candidate set; solvers that need one default to all
 // point locations.
 func NewEuclideanInstance(pts []Point) Instance[Vec] {
-	return Instance[Vec]{Space: Euclidean{}, Points: pts}
+	return Instance[Vec]{Space: Euclidean{}, Points: pts, cc: &compileCell[Vec]{}}
 }
 
 // NewFiniteInstance wraps points over a finite metric space; a nil
@@ -60,7 +93,7 @@ func NewFiniteInstance(space *FiniteSpace, pts []FinitePoint, candidates []int) 
 	if candidates == nil && space != nil {
 		candidates = space.Points()
 	}
-	return Instance[int]{Space: space, Points: pts, Candidates: candidates}
+	return Instance[int]{Space: space, Points: pts, Candidates: candidates, cc: &compileCell[int]{}}
 }
 
 // NewGraphInstance derives the shortest-path metric of g and wraps points
@@ -76,13 +109,52 @@ func NewGraphInstance(g *Graph, pts []FinitePoint) (Instance[int], error) {
 	return NewFiniteInstance(space, pts, nil), nil
 }
 
+// newCompiledInstance wraps an already-compiled model as an instance whose
+// cache is pre-populated (the dataio compiled loaders use it).
+func newCompiledInstance[P any](c *core.Compiled[P]) Instance[P] {
+	return Instance[P]{
+		Space:      c.Space(),
+		Points:     c.Points(),
+		Candidates: c.Candidates(),
+		cc:         &compileCell[P]{c: c},
+	}
+}
+
+// Compile returns the instance's compiled representation, building it on
+// first use: one validation pass (structural invariants, probability sums,
+// Euclidean dimension agreement), zero-probability-atom pruning, and the
+// flat atom arena every pipeline consumes. The result is cached in the
+// instance (all copies of this instance share it) and reused by every
+// Solver method, so repeated solves pay compilation once. Concurrent first
+// calls are serialized; a call canceled mid-compile leaves the cache empty
+// for the next caller. Instances assembled without a constructor have no
+// cache cell and compile fresh on every call.
+func (in Instance[P]) Compile(ctx context.Context) (*Compiled[P], error) {
+	if in.cc == nil {
+		return core.Compile(ctx, in.Space, in.Points, in.Candidates)
+	}
+	in.cc.mu.Lock()
+	defer in.cc.mu.Unlock()
+	if in.cc.c != nil {
+		return in.cc.c, nil
+	}
+	c, err := core.Compile(ctx, in.Space, in.Points, in.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	in.cc.c = c
+	return c, nil
+}
+
 // N returns the number of uncertain points.
 func (in Instance[P]) N() int { return len(in.Points) }
 
-// MaxZ returns z = max_i z_i, the largest support size of any point.
+// MaxZ returns z = max_i z_i, the largest support size of any point
+// (counted over the raw input, before zero-probability pruning).
 func (in Instance[P]) MaxZ() int { return uncertain.MaxZ(in.Points) }
 
-// TotalLocations returns N = Σ_i z_i, the instance's total support size.
+// TotalLocations returns N = Σ_i z_i, the instance's total support size
+// (counted over the raw input, before zero-probability pruning).
 func (in Instance[P]) TotalLocations() int { return uncertain.TotalLocations(in.Points) }
 
 // IsEuclidean reports whether the instance lives in Euclidean space — the
@@ -94,27 +166,9 @@ func (in Instance[P]) IsEuclidean() bool {
 
 // Validate checks the structural invariants: a non-nil space, a nonempty
 // valid point set, and (in Euclidean space) agreeing coordinate dimensions.
+// Validation is the first stage of compilation, so a successful Validate
+// caches the compiled model and later solves skip both.
 func (in Instance[P]) Validate() error {
-	if in.Space == nil {
-		return fmt.Errorf("ukc: instance with nil space")
-	}
-	if err := uncertain.ValidateSet(in.Points); err != nil {
-		return err
-	}
-	if eu, ok := any(in.Points).([]Point); ok && in.IsEuclidean() {
-		if _, err := uncertain.CommonDim(eu); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// candidatesOrLocations returns the instance's candidate set, defaulting to
-// the concatenation of all point locations — the natural discrete search
-// space when none was given.
-func (in Instance[P]) candidatesOrLocations() []P {
-	if len(in.Candidates) > 0 {
-		return in.Candidates
-	}
-	return uncertain.AllLocations(in.Points)
+	_, err := in.Compile(context.Background())
+	return err
 }

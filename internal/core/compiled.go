@@ -1,0 +1,434 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/emax"
+	"repro/internal/geom"
+	"repro/internal/metricspace"
+	"repro/internal/par"
+	"repro/internal/uncertain"
+)
+
+// memo is a mutex-guarded lazy cell: the first successful build is cached
+// forever; a failed build (context cancellation mid-construction) leaves the
+// cell empty so a later caller retries instead of caching the error. Holding
+// the mutex across the build serializes concurrent first computations, which
+// is exactly the "compute once, share" contract a Compiled instance makes.
+type memo[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return m.val, nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	m.val, m.done = v, true
+	return v, nil
+}
+
+// Compiled is the immutable per-instance core every pipeline consumes: the
+// uncertain-point model validated, flattened and cached once, shared by
+// every later solve.
+//
+// Compilation performs, exactly once per instance lifetime:
+//
+//   - validation (uncertain.ValidateSet, plus CommonDim in Euclidean space —
+//     the only ValidateSet call site in this package);
+//   - pruning of zero-probability atoms, so every downstream consumer sees
+//     the same support (the swap cache and the from-scratch paths used to
+//     disagree on this);
+//   - the flat structure-of-arrays atom layout — one arena of N = Σ_i z_i
+//     locations, probabilities and point indices with per-point offsets —
+//     which internal/emax consumes directly (Arena.ExpectedMaxFlat) and the
+//     swap-cache build reuses without re-flattening;
+//   - N, max z_i and (in Euclidean space) the common coordinate dimension.
+//
+// On top of the flat model a Compiled memoizes the derived state repeated
+// solves share: both surrogate kinds (expected points P̄ and 1-centers P̃,
+// continuous and candidate-restricted) and the n×m distance-RV swap
+// evaluator, each built lazily on first use behind a mutex and immutable
+// afterwards, so a second solve of the same instance performs zero metric
+// calls for surrogate construction and zero evaluator rebuilds.
+//
+// A Compiled is goroutine-safe: all mutable state is behind the memo cells,
+// and everything else is written once at compile time. Callers must not
+// mutate the slices it returns. Memory: the flat arena is
+// N·(sizeof(P) + 8 + 4) bytes plus 4·(n+1) offset bytes; the memoized swap
+// evaluator adds 12·m·N bytes when (and only when) a swap-cache path is
+// first exercised.
+type Compiled[P any] struct {
+	space metricspace.Space[P]
+	pts   []uncertain.Point[P] // pruned views into the flat arena
+	cands []P                  // explicit candidate set (may be empty)
+
+	locs    []P       // atom f -> location (the arena)
+	probs   []float64 // atom f -> positive probability mass
+	offsets []int32   // point i owns atoms offsets[i]:offsets[i+1]; len n+1
+	ptIdx   []int32   // atom f -> owning point index (inverse of offsets)
+	allLocs []P       // every input location incl. p=0 ones; aliases locs when nothing was pruned
+
+	maxZ        int
+	dim         int // common coordinate dimension (Euclidean only, else 0)
+	isEuclidean bool
+
+	surrEP     memo[[]P]                // expected points P̄
+	surrOCFree memo[[]P]                // continuous 1-centers P̃ (Euclidean, no candidates)
+	surrOCCand memo[[]P]                // 1-centers P̃ over CandidatesOrLocations()
+	evCache    memo[*SwapEvaluator[P]]  // n×m distance-RV table over CandidatesOrLocations()
+}
+
+// Compile validates, prunes and flattens an uncertain point set into the
+// immutable per-instance representation every pipeline consumes. candidates
+// is the instance's explicit center/surrogate search space and may be nil
+// (Euclidean space, or "default to all locations").
+//
+// Validation is strict on the ORIGINAL set: probabilities must be
+// non-negative, finite and sum to 1 per point, and in Euclidean space every
+// location — including zero-probability ones — must share one coordinate
+// dimension. After validation, zero-probability atoms are pruned; they
+// contribute to no expectation, distribution or E-cost, and pruning them
+// once here is what makes the cached and from-scratch evaluators agree on
+// the support they enumerate.
+func Compile[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P) (*Compiled[P], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if space == nil {
+		return nil, fmt.Errorf("core: nil space")
+	}
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, err
+	}
+	_, isEu := any(space).(metricspace.Euclidean)
+	dim := 0
+	if isEu {
+		eu, ok := any(pts).([]uncertain.Point[geom.Vec])
+		if !ok {
+			return nil, fmt.Errorf("core: Euclidean space over non-vector locations")
+		}
+		d, err := uncertain.CommonDim(eu)
+		if err != nil {
+			return nil, err
+		}
+		dim = d
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	n := 0
+	for _, p := range pts {
+		for _, pr := range p.Probs {
+			if pr > 0 {
+				n++
+			}
+		}
+	}
+	c := &Compiled[P]{
+		space:       space,
+		cands:       candidates,
+		pts:         make([]uncertain.Point[P], len(pts)),
+		locs:        make([]P, 0, n),
+		probs:       make([]float64, 0, n),
+		offsets:     make([]int32, 1, len(pts)+1),
+		ptIdx:       make([]int32, 0, n),
+		dim:         dim,
+		isEuclidean: isEu,
+	}
+	for i, p := range pts {
+		start := len(c.locs)
+		for j, pr := range p.Probs {
+			if pr > 0 {
+				c.locs = append(c.locs, p.Locs[j])
+				c.probs = append(c.probs, pr)
+				c.ptIdx = append(c.ptIdx, int32(i))
+			}
+		}
+		end := len(c.locs)
+		if z := end - start; z > c.maxZ {
+			c.maxZ = z
+		}
+		c.offsets = append(c.offsets, int32(end))
+		c.pts[i] = uncertain.Point[P]{
+			Locs:  c.locs[start:end:end],
+			Probs: c.probs[start:end:end],
+		}
+	}
+	// The default candidate set keeps EVERY input location, including
+	// zero-probability ones: pruning affects probability mass (no E-cost
+	// ever changes), but a p = 0 location is still a legal — and possibly
+	// best — center site, and the pre-compile pipelines searched it. When
+	// nothing was pruned this aliases the arena at no extra memory.
+	c.allLocs = c.locs
+	if len(c.locs) < uncertain.TotalLocations(pts) {
+		c.allLocs = uncertain.AllLocations(pts)
+	}
+	return c, nil
+}
+
+// Space returns the metric space the instance lives in.
+func (c *Compiled[P]) Space() metricspace.Space[P] { return c.space }
+
+// Points returns the validated point set with zero-probability atoms pruned.
+// The slice and the points' backing arrays are shared with the compiled
+// arena; callers must not mutate them.
+func (c *Compiled[P]) Points() []uncertain.Point[P] { return c.pts }
+
+// NumPoints returns n, the number of uncertain points.
+func (c *Compiled[P]) NumPoints() int { return len(c.pts) }
+
+// NumAtoms returns N = Σ_i |{j : p_ij > 0}|, the pruned total support size —
+// the length of the flat arena and of every distance-RV column.
+func (c *Compiled[P]) NumAtoms() int { return len(c.probs) }
+
+// MaxZ returns max_i z_i over the pruned supports.
+func (c *Compiled[P]) MaxZ() int { return c.maxZ }
+
+// Dim returns the common coordinate dimension in Euclidean space, 0
+// elsewhere.
+func (c *Compiled[P]) Dim() int { return c.dim }
+
+// IsEuclidean reports whether the instance lives in Euclidean space.
+func (c *Compiled[P]) IsEuclidean() bool { return c.isEuclidean }
+
+// Candidates returns the instance's explicit candidate set (nil when none
+// was given). Callers must not mutate it.
+func (c *Compiled[P]) Candidates() []P { return c.cands }
+
+// CandidatesOrLocations returns the candidate set discrete stages should
+// use: the explicit set when one was given, otherwise all input locations
+// (including zero-probability ones — a p = 0 location is still a legal
+// center site) — the natural discrete search space. Callers must not
+// mutate the result.
+func (c *Compiled[P]) CandidatesOrLocations() []P {
+	if len(c.cands) > 0 {
+		return c.cands
+	}
+	return c.allLocs
+}
+
+// PipelineCandidates returns the candidate set the Solve pipeline's
+// discrete stages draw from: the explicit set in Euclidean space (may be
+// nil — continuous constructions exist there), the explicit-or-all-
+// locations default elsewhere. SolveCompiled and the public Assign use
+// this single definition so assignment never searches a different
+// surrogate space than the solve that produced the centers.
+func (c *Compiled[P]) PipelineCandidates() []P {
+	if c.isEuclidean {
+		return c.cands
+	}
+	return c.CandidatesOrLocations()
+}
+
+// FlatAtoms exposes the structure-of-arrays atom layout: locs[f] occurs with
+// probability probs[f] and belongs to point ptIdx[f]; point i owns atoms
+// offsets[i]:offsets[i+1]. Callers must not mutate the slices.
+func (c *Compiled[P]) FlatAtoms() (locs []P, probs []float64, offsets, ptIdx []int32) {
+	return c.locs, c.probs, c.offsets, c.ptIdx
+}
+
+// euclideanPts returns the pruned points at their concrete Euclidean type;
+// callers only invoke it when IsEuclidean() is true, which Compile proved.
+func (c *Compiled[P]) euclideanPts() []uncertain.Point[geom.Vec] {
+	return any(c.pts).([]uncertain.Point[geom.Vec])
+}
+
+// sameSlice reports whether two slices are the identical view (same base
+// pointer and length) — the cheap identity check the surrogate memos use to
+// recognize the instance's own candidate set.
+func sameSlice[P any](a, b []P) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// Surrogates returns the certain stand-in for every point under the given
+// construction, memoized per instance: the first call builds the slice on
+// `workers` goroutines (bit-identical for any worker count), later calls
+// return the cached slice with zero metric calls. candidates restricts the
+// 1-center search (nil selects the continuous Weiszfeld construction in
+// Euclidean space); a candidate set other than the instance's own
+// (CandidatesOrLocations or nil) is computed fresh and not cached. Callers
+// must not mutate the result.
+func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []P, workers int) ([]P, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	switch s {
+	case SurrogateExpectedPoint:
+		if !c.isEuclidean {
+			return nil, fmt.Errorf("core: the expected-point surrogate requires a Euclidean space")
+		}
+		return c.surrEP.get(func() ([]P, error) {
+			eu := c.euclideanPts()
+			out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
+				return uncertain.ExpectedPointUnchecked(eu[i])
+			})
+			if err != nil {
+				return nil, err
+			}
+			return vecsAsP[P](out), nil
+		})
+	case SurrogateOneCenter:
+		if len(candidates) == 0 {
+			if !c.isEuclidean {
+				return nil, fmt.Errorf("core: the discrete 1-center surrogate needs a candidate set")
+			}
+			return c.surrOCFree.get(func() ([]P, error) {
+				eu := c.euclideanPts()
+				out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
+					return uncertain.OneCenterEuclideanUnchecked(eu[i])
+				})
+				if err != nil {
+					return nil, err
+				}
+				return vecsAsP[P](out), nil
+			})
+		}
+		build := func() ([]P, error) {
+			return par.Map(ctx, make([]P, len(c.pts)), workers, func(i int) P {
+				s, _ := uncertain.OneCenterDiscrete(c.space, c.pts[i], candidates)
+				return s
+			})
+		}
+		if sameSlice(candidates, c.CandidatesOrLocations()) {
+			return c.surrOCCand.get(build)
+		}
+		return build()
+	default:
+		return nil, fmt.Errorf("core: unknown surrogate %v", s)
+	}
+}
+
+// Evaluator returns the instance's memoized incremental swap evaluator over
+// CandidatesOrLocations(): the n×m distance-RV table is built once
+// (parallelized over candidates on `workers` goroutines) and shared by every
+// later SolveUnassignedLSCompiled / EcostSweepCompiled call on this
+// instance. The evaluator is immutable and goroutine-safe; per-scan state
+// lives in caller-owned SwapBase/SwapScratch values. Memory: 12·m·N bytes,
+// held for the lifetime of the Compiled — use the DisableSwapCache /
+// WithSwapCache(false) escape hatch to avoid building it.
+func (c *Compiled[P]) Evaluator(ctx context.Context, workers int) (*SwapEvaluator[P], error) {
+	return c.evCache.get(func() (*SwapEvaluator[P], error) {
+		return newSwapEvaluatorCompiled(ctx, c, c.CandidatesOrLocations(), workers)
+	})
+}
+
+// SnapToCandidates returns, for each center, the index of its nearest
+// candidate in CandidatesOrLocations() (ties broken by lowest index).
+func (c *Compiled[P]) SnapToCandidates(centers []P) []int {
+	cands := c.CandidatesOrLocations()
+	out := make([]int, len(centers))
+	for i, ctr := range centers {
+		best, bestD := 0, math.Inf(1)
+		for j, cand := range cands {
+			if d := c.space.Dist(ctr, cand); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// EcostAssigned returns the exact assigned expected cost
+// Σ_R prob(R)·max_i d(P̂_i, centers[assign[i]]) of the compiled instance:
+// the flat per-atom distances are filled on `workers` goroutines (disjoint
+// per-point ranges, bit-identical to sequential), then one O(N log N) sweep.
+// No re-validation: the instance was validated at compile time.
+func (c *Compiled[P]) EcostAssigned(ctx context.Context, centers []P, assign []int, workers int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateAssignment(c.pts, centers, assign); err != nil {
+		return 0, err
+	}
+	vals := make([]float64, len(c.locs))
+	if err := par.For(ctx, len(c.pts), workers, func(i int) {
+		ctr := centers[assign[i]]
+		for f := c.offsets[i]; f < c.offsets[i+1]; f++ {
+			vals[f] = c.space.Dist(c.locs[f], ctr)
+		}
+	}); err != nil {
+		return 0, err
+	}
+	var a emax.Arena
+	return a.ExpectedMaxFlat(vals, c.probs, c.ptIdx, len(c.pts)), nil
+}
+
+// EcostUnassigned returns the exact unassigned expected cost
+// Σ_R prob(R)·max_i min_j d(P̂_i, c_j) of the compiled instance; see
+// EcostAssigned for the parallelism and validation contract.
+func (c *Compiled[P]) EcostUnassigned(ctx context.Context, centers []P, workers int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(centers) == 0 {
+		return 0, fmt.Errorf("core: no centers")
+	}
+	vals := make([]float64, len(c.locs))
+	if err := par.For(ctx, len(c.locs), workers, func(f int) {
+		best := math.Inf(1)
+		for _, ctr := range centers {
+			if d := c.space.Dist(c.locs[f], ctr); d < best {
+				best = d
+			}
+		}
+		vals[f] = best
+	}); err != nil {
+		return 0, err
+	}
+	var a emax.Arena
+	return a.ExpectedMaxFlat(vals, c.probs, c.ptIdx, len(c.pts)), nil
+}
+
+// flatScratch is the per-worker reusable state of a from-scratch unassigned
+// evaluation: a center buffer, the flat distance values, and the sweep
+// arena. One scratch per worker; see newFlatScratches.
+type flatScratch[P any] struct {
+	centers []P
+	vals    []float64
+	arena   emax.Arena
+}
+
+// newFlatScratches allocates one from-scratch evaluation scratch per worker
+// slot, each sized for k centers and the instance's atom count — the shared
+// setup of the oracle local-search descent and the uncached sweep.
+func (c *Compiled[P]) newFlatScratches(k, workers int) []*flatScratch[P] {
+	scr := make([]*flatScratch[P], workers)
+	for w := range scr {
+		scr[w] = &flatScratch[P]{centers: make([]P, k), vals: make([]float64, c.NumAtoms())}
+	}
+	return scr
+}
+
+// ecostUnassignedFlat is the scratch-reusing sequential unassigned E-cost —
+// the inner-loop evaluator of the from-scratch local-search and sweep paths.
+// vals must have length NumAtoms(); vals and arena are overwritten and may
+// be reused across calls. Value-identical to EcostUnassigned.
+func (c *Compiled[P]) ecostUnassignedFlat(centers []P, vals []float64, a *emax.Arena) float64 {
+	for f, loc := range c.locs {
+		best := math.Inf(1)
+		for _, ctr := range centers {
+			if d := c.space.Dist(loc, ctr); d < best {
+				best = d
+			}
+		}
+		vals[f] = best
+	}
+	return a.ExpectedMaxFlat(vals, c.probs, c.ptIdx, len(c.pts))
+}

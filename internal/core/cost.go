@@ -25,9 +25,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/emax"
 	"repro/internal/metricspace"
-	"repro/internal/par"
 	"repro/internal/uncertain"
 )
 
@@ -58,27 +56,18 @@ func EcostAssigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], 
 }
 
 // EcostAssignedCtx is EcostAssigned with cooperative cancellation and a
-// worker pool: the per-point distance RVs are built on `workers` goroutines
-// (fanning out over disjoint point indices, so the result is bit-identical
-// to the sequential evaluation) before the O(N log N) sweep. It returns
-// ctx.Err() if canceled mid-build.
+// worker pool: the point set is compiled (validated, pruned, flattened)
+// per call and the flat per-atom distances are filled on `workers`
+// goroutines (disjoint point ranges, so the result is bit-identical to the
+// sequential evaluation) before the O(N log N) sweep. It returns ctx.Err()
+// if canceled mid-build. Callers evaluating one instance repeatedly should
+// Compile once and use Compiled.EcostAssigned.
 func EcostAssignedCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int, workers int) (float64, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return 0, err
-	}
-	if err := validateAssignment(pts, centers, assign); err != nil {
-		return 0, err
-	}
-	rvs, err := par.Map(ctx, make([]emax.RV, len(pts)), workers, func(i int) emax.RV {
-		return uncertain.DistRV(space, pts[i], centers[assign[i]])
-	})
+	c, err := Compile(ctx, space, pts, nil)
 	if err != nil {
 		return 0, err
 	}
-	return emax.ExpectedMax(rvs)
+	return c.EcostAssigned(ctx, centers, assign, workers)
 }
 
 // EcostUnassigned returns the paper's unassigned expected cost
@@ -92,36 +81,15 @@ func EcostUnassigned[P any](space metricspace.Space[P], pts []uncertain.Point[P]
 }
 
 // EcostUnassignedCtx is EcostUnassigned with cooperative cancellation and a
-// worker pool; see EcostAssignedCtx for the determinism contract.
+// worker pool; see EcostAssignedCtx for the determinism contract. Callers
+// evaluating one instance repeatedly should Compile once and use
+// Compiled.EcostUnassigned.
 func EcostUnassignedCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], centers []P, workers int) (float64, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return 0, err
-	}
-	if len(centers) == 0 {
-		return 0, fmt.Errorf("core: no centers")
-	}
-	rvs, err := par.Map(ctx, make([]emax.RV, len(pts)), workers, func(i int) emax.RV {
-		return uncertain.MinDistRV(space, pts[i], centers)
-	})
+	c, err := Compile(ctx, space, pts, nil)
 	if err != nil {
 		return 0, err
 	}
-	return emax.ExpectedMax(rvs)
-}
-
-// ecostUnassignedRaw skips per-call set validation: the local-search inner
-// loop evaluates thousands of center sets over the SAME already-validated
-// points, where revalidating each time is pure overhead. Value-identical to
-// EcostUnassigned.
-func ecostUnassignedRaw[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P) (float64, error) {
-	rvs := make([]emax.RV, len(pts))
-	for i, p := range pts {
-		rvs[i] = uncertain.MinDistRV(space, p, centers)
-	}
-	return emax.ExpectedMax(rvs)
+	return c.EcostUnassigned(ctx, centers, workers)
 }
 
 // EcostAssignedNaive is the exponential enumeration oracle for EcostAssigned,
@@ -211,9 +179,11 @@ func EcostMonteCarlo[P any](space metricspace.Space[P], pts []uncertain.Point[P]
 // max-of-expectations cost used by Wang & Zhang's 1D work. It satisfies
 // MaxExpCostAssigned ≤ EcostAssigned (Jensen for max).
 func MaxExpCostAssigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int) (float64, error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
+	c, err := Compile(context.Background(), space, pts, nil)
+	if err != nil {
 		return 0, err
 	}
+	pts = c.Points()
 	if err := validateAssignment(pts, centers, assign); err != nil {
 		return 0, err
 	}
@@ -230,14 +200,15 @@ func MaxExpCostAssigned[P any](space metricspace.Space[P], pts []uncertain.Point
 // the center minimizing its expected distance (which is exactly the ED
 // assignment), then the max of those expectations.
 func MaxExpCostUnassigned[P any](space metricspace.Space[P], pts []uncertain.Point[P], centers []P) (float64, error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
+	c, err := Compile(context.Background(), space, pts, nil)
+	if err != nil {
 		return 0, err
 	}
 	if len(centers) == 0 {
 		return 0, fmt.Errorf("core: no centers")
 	}
 	var m float64
-	for _, p := range pts {
+	for _, p := range c.Points() {
 		best := math.Inf(1)
 		for _, c := range centers {
 			if e := uncertain.ExpectedDist(space, p, c); e < best {

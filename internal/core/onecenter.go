@@ -1,13 +1,20 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 
+	"repro/internal/emax"
 	"repro/internal/geom"
 	"repro/internal/metricspace"
 	"repro/internal/uncertain"
 )
+
+// compileEuclidean compiles a Euclidean point set once for the 1-center
+// helpers below (validation + CommonDim + flatten, single pass).
+func compileEuclidean(pts []uncertain.Point[geom.Vec]) (*Compiled[geom.Vec], error) {
+	return Compile[geom.Vec](context.Background(), metricspace.Euclidean{}, pts, nil)
+}
 
 // OneCenterApprox implements Theorem 2.1: the expected point P̄ of any single
 // uncertain point is a 2-approximation of the optimal uncertain 1-center
@@ -17,40 +24,45 @@ import (
 // keeping the factor-2 certificate. It returns the chosen center and its
 // exact Ecost.
 func OneCenterApprox(pts []uncertain.Point[geom.Vec]) (geom.Vec, float64, error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
+	c, err := compileEuclidean(pts)
+	if err != nil {
 		return nil, 0, err
 	}
-	if _, err := uncertain.CommonDim(pts); err != nil {
-		return nil, 0, err
-	}
-	space := metricspace.Euclidean{}
-	var best geom.Vec
-	bestCost := math.Inf(1)
-	for _, p := range pts {
-		c := uncertain.ExpectedPoint(p)
-		cost, err := EcostUnassigned[geom.Vec](space, pts, []geom.Vec{c})
-		if err != nil {
-			return nil, 0, err
-		}
-		if cost < bestCost {
-			best, bestCost = c, cost
-		}
-	}
+	best, bestCost := oneCenterApproxCompiled(c)
 	return best, bestCost, nil
+}
+
+// oneCenterApproxCompiled scans every expected point on the compiled flat
+// evaluator, reusing one distance buffer and sweep arena across the n exact
+// evaluations (the instance was validated once at compile time).
+func oneCenterApproxCompiled(c *Compiled[geom.Vec]) (geom.Vec, float64) {
+	var (
+		best     geom.Vec
+		bestCost = math.Inf(1)
+		vals     = make([]float64, c.NumAtoms())
+		arena    emax.Arena
+		center   = make([]geom.Vec, 1)
+	)
+	for _, p := range c.Points() {
+		center[0] = uncertain.ExpectedPointUnchecked(p)
+		cost := c.ecostUnassignedFlat(center, vals, &arena)
+		if cost < bestCost {
+			best, bestCost = center[0], cost
+		}
+	}
+	return best, bestCost
 }
 
 // OneCenterFirstExpectedPoint is the literal Theorem 2.1 construction: P̄ of
 // the first point, in O(z) time, with its exact Ecost.
 func OneCenterFirstExpectedPoint(pts []uncertain.Point[geom.Vec]) (geom.Vec, float64, error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
+	c, err := compileEuclidean(pts)
+	if err != nil {
 		return nil, 0, err
 	}
-	if _, err := uncertain.CommonDim(pts); err != nil {
-		return nil, 0, err
-	}
-	c := uncertain.ExpectedPoint(pts[0])
-	cost, err := EcostUnassigned[geom.Vec](metricspace.Euclidean{}, pts, []geom.Vec{c})
-	return c, cost, err
+	ctr := uncertain.ExpectedPointUnchecked(c.Points()[0])
+	cost, err := c.EcostUnassigned(nil, []geom.Vec{ctr}, 1)
+	return ctr, cost, err
 }
 
 // Optimal1CenterEuclidean numerically minimizes the uncertain 1-center cost
@@ -58,31 +70,30 @@ func OneCenterFirstExpectedPoint(pts []uncertain.Point[geom.Vec]) (geom.Vec, flo
 // functions inside an expectation), so compass/pattern search converges to
 // the global optimum; tol is the termination step size relative to the
 // instance diameter (default 1e-6). This is the E1 experiment's reference
-// optimum.
+// optimum. The instance is compiled once; every pattern-search probe is one
+// exact flat evaluation on reused scratch, not a validate-and-rebuild.
 func Optimal1CenterEuclidean(pts []uncertain.Point[geom.Vec], tol float64) (geom.Vec, float64, error) {
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return nil, 0, err
-	}
-	if _, err := uncertain.CommonDim(pts); err != nil {
+	c, err := compileEuclidean(pts)
+	if err != nil {
 		return nil, 0, err
 	}
 	if tol <= 0 {
 		tol = 1e-6
 	}
-	space := metricspace.Euclidean{}
-	eval := func(c geom.Vec) (float64, error) {
-		return EcostUnassigned[geom.Vec](space, pts, []geom.Vec{c})
+	vals := make([]float64, c.NumAtoms())
+	var arena emax.Arena
+	center := make([]geom.Vec, 1)
+	eval := func(q geom.Vec) float64 {
+		center[0] = q
+		return c.ecostUnassignedFlat(center, vals, &arena)
 	}
 
-	all := uncertain.AllLocations(pts)
-	bbox := geom.BoundingBox(all)
+	locs, _, _, _ := c.FlatAtoms()
+	bbox := geom.BoundingBox(locs)
 	diam := bbox.Diameter()
 
 	// Start from the best expected point (already within factor 2).
-	cur, curCost, err := OneCenterApprox(pts)
-	if err != nil {
-		return nil, 0, err
-	}
+	cur, curCost := oneCenterApproxCompiled(c)
 	cur = cur.Clone()
 	if diam == 0 {
 		return cur, curCost, nil
@@ -95,11 +106,7 @@ func Optimal1CenterEuclidean(pts []uncertain.Point[geom.Vec], tol float64) (geom
 			for _, s := range []float64{step, -step} {
 				cand := cur.Clone()
 				cand[a] += s
-				cost, err := eval(cand)
-				if err != nil {
-					return nil, 0, fmt.Errorf("core: pattern search: %w", err)
-				}
-				if cost < curCost-1e-15*(1+curCost) {
+				if cost := eval(cand); cost < curCost-1e-15*(1+curCost) {
 					cur, curCost = cand, cost
 					improved = true
 				}

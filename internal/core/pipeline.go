@@ -64,21 +64,8 @@ func (o Options) Workers() int {
 	}
 }
 
-// euclideanView reports whether the pipeline runs in Euclidean space and, if
-// so, returns the points at their concrete []uncertain.Point[geom.Vec] type.
-// This is the single place where the generic pipeline specializes: Euclidean
-// space is detected by the space's concrete type, not by a parallel code
-// path.
-func euclideanView[P any](space metricspace.Space[P], pts []uncertain.Point[P]) ([]uncertain.Point[geom.Vec], bool) {
-	if _, ok := any(space).(metricspace.Euclidean); !ok {
-		return nil, false
-	}
-	eu, ok := any(pts).([]uncertain.Point[geom.Vec])
-	return eu, ok
-}
-
 // vecsAsP converts a []geom.Vec back to []P; callers only invoke it when
-// euclideanView succeeded, which proves P = geom.Vec.
+// the space was detected as Euclidean, which proves P = geom.Vec.
 func vecsAsP[P any](v []geom.Vec) []P { return any(v).([]P) }
 
 // vecAsP converts one geom.Vec to P under the same proof.
@@ -106,30 +93,47 @@ func vecAsP[P any](v geom.Vec) P { return any(v).(P) }
 // cancellation between chunks and return ctx.Err() mid-solve; the certain
 // solver stages check between stages. Parallelism > 1 runs the hot loops on
 // a worker pool with bit-identical results (see Options.Parallelism).
+//
+// Solve compiles the point set per call. Callers that solve one instance
+// repeatedly should Compile once and call SolveCompiled (which is what the
+// public Instance/Solver API does) to share the validated flat model and the
+// memoized surrogate/evaluator caches across solves.
 func Solve[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, opts Options) (Result[P], error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if space == nil {
 		return Result[P]{}, fmt.Errorf("core: nil space")
 	}
-	if err := uncertain.ValidateSet(pts); err != nil {
+	c, err := Compile(ctx, space, pts, candidates)
+	if err != nil {
 		return Result[P]{}, err
+	}
+	if !c.IsEuclidean() && len(candidates) == 0 {
+		return Result[P]{}, fmt.Errorf("core: a non-Euclidean space needs a candidate set")
+	}
+	return SolveCompiled(ctx, c, k, opts)
+}
+
+// SolveCompiled is Solve on a pre-compiled instance: validation, pruning and
+// flattening already happened (once, at Compile time), the surrogate slice
+// is served from the instance's memoized cache when a previous solve built
+// it, and the exact cost evaluators consume the flat atom layout directly.
+// Repeated solves of one Compiled with different k or options therefore pay
+// only the k-dependent stages.
+func SolveCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts Options) (Result[P], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c == nil {
+		return Result[P]{}, fmt.Errorf("core: nil compiled instance")
 	}
 	if k <= 0 {
 		return Result[P]{}, fmt.Errorf("core: k = %d", k)
 	}
-	eu, isEuclidean := euclideanView(space, pts)
-	if isEuclidean {
-		if _, err := uncertain.CommonDim(eu); err != nil {
-			return Result[P]{}, err
-		}
-	} else if len(candidates) == 0 {
-		return Result[P]{}, fmt.Errorf("core: a non-Euclidean space needs a candidate set")
-	}
+	space := c.Space()
+	isEuclidean := c.IsEuclidean()
+	candidates := c.PipelineCandidates()
 	workers := opts.Workers()
 
-	surrogates, err := buildSurrogates(ctx, space, pts, candidates, opts.Surrogate, workers)
+	surrogates, err := c.Surrogates(ctx, opts.Surrogate, candidates, workers)
 	if err != nil {
 		return Result[P]{}, err
 	}
@@ -215,62 +219,56 @@ func Solve[P any](ctx context.Context, space metricspace.Space[P], pts []uncerta
 		// Report the radius over ALL surrogates, not just the coreset.
 		radius = kcenter.Radius(space, surrogates, centers)
 	}
-	assign, err := AssignCtx(ctx, space, pts, centers, opts.Rule, candidates, workers)
+	assign, err := AssignCompiled(ctx, c, centers, opts.Rule, candidates, workers)
 	if err != nil {
 		return Result[P]{}, err
 	}
-	return finishResultCtx(ctx, space, pts, centers, assign, surrogates, radius, effEps, workers)
-}
-
-// buildSurrogates computes the certain stand-in for every point, fanning out
-// over points on the worker pool.
-func buildSurrogates[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, s Surrogate, workers int) ([]P, error) {
-	eu, isEuclidean := euclideanView(space, pts)
-	switch s {
-	case SurrogateExpectedPoint:
-		if !isEuclidean {
-			return nil, fmt.Errorf("core: the expected-point surrogate requires a Euclidean space")
-		}
-		out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
-			return uncertain.ExpectedPoint(eu[i])
-		})
-		if err != nil {
-			return nil, err
-		}
-		return vecsAsP[P](out), nil
-	case SurrogateOneCenter:
-		if isEuclidean && len(candidates) == 0 {
-			out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
-				return uncertain.OneCenterEuclidean(eu[i])
-			})
-			if err != nil {
-				return nil, err
-			}
-			return vecsAsP[P](out), nil
-		}
-		if len(candidates) == 0 {
-			return nil, fmt.Errorf("core: the discrete 1-center surrogate needs a candidate set")
-		}
-		return par.Map(ctx, make([]P, len(pts)), workers, func(i int) P {
-			c, _ := uncertain.OneCenterDiscrete(space, pts[i], candidates)
-			return c
-		})
-	default:
-		return nil, fmt.Errorf("core: unknown surrogate %v", s)
+	ecost, err := c.EcostAssigned(ctx, centers, assign, workers)
+	if err != nil {
+		return Result[P]{}, err
 	}
+	un, err := c.EcostUnassigned(ctx, centers, workers)
+	if err != nil {
+		return Result[P]{}, err
+	}
+	return Result[P]{
+		Centers:         centers,
+		Assign:          assign,
+		Ecost:           ecost,
+		EcostUnassigned: un,
+		Surrogates:      surrogates,
+		CertainRadius:   radius,
+		EffectiveEps:    effEps,
+	}, nil
 }
 
-// assignRule dispatches the assignment rule on the generic pipeline, fanning
-// out over points. candidates is the surrogate search space for RuleOC in
-// non-Euclidean spaces.
+// AssignCtx dispatches the assignment rule over a raw point set, compiling
+// it per call; candidates is the surrogate search space for RuleOC in
+// non-Euclidean spaces. Callers with a compiled instance should use
+// AssignCompiled, which serves the EP/OC surrogates from the instance cache.
 func AssignCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], centers []P, rule Rule, candidates []P, workers int) ([]int, error) {
+	c, err := Compile(ctx, space, pts, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return AssignCompiled(ctx, c, centers, rule, candidates, workers)
+}
+
+// AssignCompiled dispatches the assignment rule on a compiled instance,
+// fanning out over points. The EP and OC rules assign each point to the
+// center nearest its surrogate, so they reuse the instance's memoized
+// surrogate slices — a second assignment (or a solve after an assignment)
+// performs zero metric calls for surrogate construction. candidates is the
+// surrogate search space for RuleOC outside Euclidean space.
+func AssignCompiled[P any](ctx context.Context, c *Compiled[P], centers []P, rule Rule, candidates []P, workers int) ([]int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if len(centers) == 0 {
 		return nil, fmt.Errorf("core: assignment with no centers")
 	}
-	eu, isEuclidean := euclideanView(space, pts)
+	space := c.Space()
+	pts := c.Points()
 	nearest := func(p P) int {
 		best, bestD := 0, space.Dist(p, centers[0])
 		for c := 1; c < len(centers); c++ {
@@ -293,48 +291,28 @@ func AssignCtx[P any](ctx context.Context, space metricspace.Space[P], pts []unc
 			return best
 		})
 	case RuleEP:
-		if !isEuclidean {
+		if !c.IsEuclidean() {
 			return nil, fmt.Errorf("core: the expected point rule requires a Euclidean space")
 		}
+		surr, err := c.Surrogates(ctx, SurrogateExpectedPoint, nil, workers)
+		if err != nil {
+			return nil, err
+		}
 		return par.Map(ctx, make([]int, len(pts)), workers, func(i int) int {
-			return nearest(vecAsP[P](uncertain.ExpectedPoint(eu[i])))
+			return nearest(surr[i])
 		})
 	case RuleOC:
-		if isEuclidean && len(candidates) == 0 {
-			return par.Map(ctx, make([]int, len(pts)), workers, func(i int) int {
-				return nearest(vecAsP[P](uncertain.OneCenterEuclidean(eu[i])))
-			})
-		}
-		if len(candidates) == 0 {
+		if !c.IsEuclidean() && len(candidates) == 0 {
 			return nil, fmt.Errorf("core: RuleOC needs a surrogate candidate set")
 		}
+		surr, err := c.Surrogates(ctx, SurrogateOneCenter, candidates, workers)
+		if err != nil {
+			return nil, err
+		}
 		return par.Map(ctx, make([]int, len(pts)), workers, func(i int) int {
-			s, _ := uncertain.OneCenterDiscrete(space, pts[i], candidates)
-			return nearest(s)
+			return nearest(surr[i])
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown rule %v", rule)
 	}
-}
-
-// finishResultCtx evaluates both exact costs with the worker pool and
-// assembles the Result.
-func finishResultCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], centers []P, assign []int, surrogates []P, radius, effEps float64, workers int) (Result[P], error) {
-	ecost, err := EcostAssignedCtx(ctx, space, pts, centers, assign, workers)
-	if err != nil {
-		return Result[P]{}, err
-	}
-	un, err := EcostUnassignedCtx(ctx, space, pts, centers, workers)
-	if err != nil {
-		return Result[P]{}, err
-	}
-	return Result[P]{
-		Centers:         centers,
-		Assign:          assign,
-		Ecost:           ecost,
-		EcostUnassigned: un,
-		Surrogates:      surrogates,
-		CertainRadius:   radius,
-		EffectiveEps:    effEps,
-	}, nil
 }

@@ -16,29 +16,33 @@ import (
 // objective Ecost(C) = E[max_i min_{c∈C} d(X_i, c)] over center sets drawn
 // from a fixed candidate set.
 //
-// Construction flattens the instance into N = Σ_i |{j : p_ij > 0}| support
-// atoms and caches, for every candidate c, the column of distances
-// d(loc_f, candidate_c) over all atoms f — the full n×m table of per-point
-// distance RVs — together with a permutation of the atoms sorted by that
-// distance. Both are computed once (parallelized over candidates) and are
-// immutable afterwards, so every later evaluation makes zero metric calls.
+// Construction reuses the compiled instance's flat atom layout — the
+// N = Σ_i |{j : p_ij > 0}| support atoms with zero-probability atoms already
+// pruned at compile time — and caches, for every candidate c, the column of
+// distances d(loc_f, candidate_c) over all atoms — the full n×m table of
+// per-point distance RVs — together with a permutation of the atoms sorted
+// by that distance. Both are computed once (parallelized over candidates)
+// and are immutable afterwards, so every later evaluation makes zero metric
+// calls.
 //
 // A neighborhood scan then factors through PrepareBase: for one scan
 // position it precomputes each atom's min distance over the k−1 *unchanged*
-// centers (plus the sorted order of those mins), after which EvalSwap(c) is
-// a linear merge of two presorted streams — the base and candidate c's
-// column — directly into the sorted event stream of the swapped set's
-// min-distance RVs, fed to the allocation-free emax sweep. Per-candidate
-// cost drops from O(N·k) metric calls + an O(N log N) sort to a single
-// O(N) merge + the sweep, with no allocations in steady state.
+// centers (plus the sorted order of those mins) into a caller-owned
+// SwapBase, after which EvalSwap(c) is a linear merge of two presorted
+// streams — the base and candidate c's column — directly into the sorted
+// event stream of the swapped set's min-distance RVs, fed to the
+// allocation-free emax sweep. Per-candidate cost drops from O(N·k) metric
+// calls + an O(N log N) sort to a single O(N) merge + the sweep, with no
+// allocations in steady state.
 //
-// The evaluator is immutable after construction except for the base
-// buffers, which PrepareBase/Cost overwrite: prepare a base, then fan
-// EvalSwap out over candidates (each worker with its own SwapScratch), then
-// prepare the next. Costs are value-identical to EcostUnassigned up to
-// floating-point summation order (events with equal distance may merge in a
-// different order than the from-scratch sort), which the tests pin at
-// ≤ 1e-12 relative.
+// The evaluator itself is immutable after construction and therefore safe
+// to share across goroutines and across solves — Compiled.Evaluator
+// memoizes one per instance. All scan-mutable state lives in caller-owned
+// values: one SwapBase per neighborhood scan (PrepareBase overwrites it)
+// and one SwapScratch per worker. Costs are value-identical to
+// EcostUnassigned up to floating-point summation order (events with equal
+// distance may merge in a different order than the from-scratch sort),
+// which the tests pin at ≤ 1e-12 relative.
 //
 // Memory: the table holds one float64 distance and one int32 sort index per
 // (candidate, atom) pair — 12·m·N bytes, e.g. ~96 MB for n = m = 1000,
@@ -50,11 +54,17 @@ type SwapEvaluator[P any] struct {
 	probs []float64 // atom f -> its (positive) probability mass
 	cols  [][]float64
 	order [][]int32
+}
 
-	// Base state for the current scan position (PrepareBase).
-	baseVals  []float64 // atom f -> min distance over the unchanged centers
-	baseOrder []int32   // atoms sorted ascending by baseVals
-	baseLen   int       // 0 when there are no unchanged centers (k = 1)
+// SwapBase is the per-scan-position state of a neighborhood scan: every
+// atom's min distance over the k−1 unchanged centers, and the atoms sorted
+// by it. PrepareBase overwrites it; EvalSwap reads it. One base must not be
+// written (PrepareBase) concurrently with reads; a scan prepares the base
+// once, then fans EvalSwap out over candidates.
+type SwapBase struct {
+	vals  []float64 // atom f -> min distance over the unchanged centers
+	order []int32   // atoms sorted ascending by vals
+	n     int       // 0 when there are no unchanged centers (k = 1)
 }
 
 // SwapScratch is the per-worker mutable state of EvalSwap: the merged event
@@ -70,69 +80,68 @@ type SwapScratch struct {
 
 // NewSwapEvaluator builds the distance-RV cache for (pts, candidates):
 // m candidate columns over the N positive-probability support atoms, each
-// column sorted once. The build fans out over candidates on `workers`
-// goroutines and honors ctx. Points are assumed already validated (the
-// solve entry points run uncertain.ValidateSet); candidates must be
-// nonempty.
+// column sorted once. The build compiles the point set (validating it once)
+// and fans out over candidates on `workers` goroutines, honoring ctx.
+// Callers holding a Compiled should use Compiled.Evaluator, which memoizes
+// one evaluator per instance.
 func NewSwapEvaluator[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, workers int) (*SwapEvaluator[P], error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if space == nil {
 		return nil, fmt.Errorf("core: SwapEvaluator with nil space")
+	}
+	c, err := Compile(ctx, space, pts, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return newSwapEvaluatorCompiled(ctx, c, candidates, workers)
+}
+
+// newSwapEvaluatorCompiled builds the candidate columns over a compiled
+// instance's flat atom arena — no re-validation, no re-flattening.
+func newSwapEvaluatorCompiled[P any](ctx context.Context, c *Compiled[P], candidates []P, workers int) (*SwapEvaluator[P], error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: SwapEvaluator needs candidates")
 	}
-	var n int
-	for _, p := range pts {
-		for _, pr := range p.Probs {
-			if pr > 0 {
-				n++
-			}
-		}
-	}
 	e := &SwapEvaluator[P]{
-		nPts:  len(pts),
-		ptIdx: make([]int32, 0, n),
-		probs: make([]float64, 0, n),
+		nPts:  c.NumPoints(),
+		ptIdx: c.ptIdx,
+		probs: c.probs,
+		cols:  make([][]float64, len(candidates)),
+		order: make([][]int32, len(candidates)),
 	}
-	locs := make([]P, 0, n)
-	for i, p := range pts {
-		for j, pr := range p.Probs {
-			if pr > 0 {
-				e.ptIdx = append(e.ptIdx, int32(i))
-				e.probs = append(e.probs, pr)
-				locs = append(locs, p.Locs[j])
-			}
-		}
-	}
-	e.cols = make([][]float64, len(candidates))
-	e.order = make([][]int32, len(candidates))
-	err := par.For(ctx, len(candidates), workers, func(c int) {
+	locs, space := c.locs, c.space
+	err := par.For(ctx, len(candidates), workers, func(cd int) {
 		col := make([]float64, len(locs))
 		for f, loc := range locs {
-			col[f] = space.Dist(loc, candidates[c])
+			col[f] = space.Dist(loc, candidates[cd])
 		}
 		ord := make([]int32, len(col))
 		for f := range ord {
 			ord[f] = int32(f)
 		}
 		sort.Slice(ord, func(x, y int) bool { return col[ord[x]] < col[ord[y]] })
-		e.cols[c] = col
-		e.order[c] = ord
+		e.cols[cd] = col
+		e.order[cd] = ord
 	})
 	if err != nil {
 		return nil, err
 	}
-	e.baseVals = make([]float64, len(locs))
-	e.baseOrder = make([]int32, len(locs))
 	return e, nil
 }
 
 // NumAtoms returns N, the number of positive-probability support atoms —
 // the per-candidate column length of the cache.
 func (e *SwapEvaluator[P]) NumAtoms() int { return len(e.probs) }
+
+// NewBase returns a fresh per-scan base sized for this evaluator.
+func (e *SwapEvaluator[P]) NewBase() *SwapBase {
+	return &SwapBase{
+		vals:  make([]float64, len(e.probs)),
+		order: make([]int32, len(e.probs)),
+	}
+}
 
 // NewScratch returns a fresh per-worker scratch sized for this evaluator.
 func (e *SwapEvaluator[P]) NewScratch() *SwapScratch {
@@ -143,12 +152,13 @@ func (e *SwapEvaluator[P]) NewScratch() *SwapScratch {
 }
 
 // PrepareBase fixes the scan position: it computes every atom's min
-// distance over chosen[j] for j ≠ pos and sorts the atoms by it, the shared
-// read-only input of the EvalSwap calls that follow. Cost: O(N·(k−1)) mins
-// plus one O(N log N) sort, amortized over the whole candidate scan.
-// PrepareBase must not run concurrently with EvalSwap.
-func (e *SwapEvaluator[P]) PrepareBase(chosen []int, pos int) {
-	bv := e.baseVals
+// distance over chosen[j] for j ≠ pos and sorts the atoms by it, into the
+// caller-owned base — the shared read-only input of the EvalSwap calls that
+// follow. Cost: O(N·(k−1)) mins plus one O(N log N) sort, amortized over
+// the whole candidate scan. PrepareBase must not run concurrently with
+// EvalSwap on the same base.
+func (e *SwapEvaluator[P]) PrepareBase(b *SwapBase, chosen []int, pos int) {
+	bv := b.vals
 	for f := range bv {
 		bv[f] = math.Inf(1)
 	}
@@ -165,26 +175,26 @@ func (e *SwapEvaluator[P]) PrepareBase(chosen []int, pos int) {
 		}
 	}
 	if unchanged == 0 { // k = 1: the candidate column alone is the whole set
-		e.baseLen = 0
+		b.n = 0
 		return
 	}
-	ord := e.baseOrder
+	ord := b.order
 	for f := range ord {
 		ord[f] = int32(f)
 	}
 	sort.Slice(ord, func(x, y int) bool { return bv[ord[x]] < bv[ord[y]] })
-	e.baseLen = len(ord)
+	b.n = len(ord)
 }
 
 // EvalSwap returns the exact unassigned E-cost of the center set formed by
 // the prepared base plus candidates[c] — i.e. chosen with chosen[pos]
-// replaced by c, for the (chosen, pos) of the last PrepareBase. It merges
-// the two presorted streams, keeping each atom's first (smaller) occurrence,
-// which is exactly the sorted event stream of min(base_f, col_f) over all
-// atoms, then runs the emax sweep. O(N) plus the sweep; allocation-free in
-// steady state. Safe to call concurrently with itself given distinct
-// scratches.
-func (e *SwapEvaluator[P]) EvalSwap(s *SwapScratch, c int) float64 {
+// replaced by c, for the (chosen, pos) of the last PrepareBase on b. It
+// merges the two presorted streams, keeping each atom's first (smaller)
+// occurrence, which is exactly the sorted event stream of min(base_f, col_f)
+// over all atoms, then runs the emax sweep. O(N) plus the sweep;
+// allocation-free in steady state. Safe to call concurrently with itself
+// given distinct scratches (the base is read-only during a scan).
+func (e *SwapEvaluator[P]) EvalSwap(b *SwapBase, s *SwapScratch, c int) float64 {
 	s.epoch++
 	if s.epoch <= 0 { // stamp wrap: reset and start over
 		for f := range s.seen {
@@ -192,9 +202,9 @@ func (e *SwapEvaluator[P]) EvalSwap(s *SwapScratch, c int) float64 {
 		}
 		s.epoch = 1
 	}
-	bo := e.baseOrder[:e.baseLen]
+	bo := b.order[:b.n]
 	co := e.order[c]
-	bv, cv := e.baseVals, e.cols[c]
+	bv, cv := b.vals, e.cols[c]
 	events := s.events[:0]
 	bi, ci := 0, 0
 	for bi < len(bo) || ci < len(co) {
@@ -219,62 +229,80 @@ func (e *SwapEvaluator[P]) EvalSwap(s *SwapScratch, c int) float64 {
 }
 
 // Cost returns the exact unassigned E-cost of the chosen candidate set
-// itself, through the same cached columns. It reuses the base buffers
+// itself, through the same cached columns. It overwrites the caller's base
 // (base = chosen minus its first element, candidate = that element), so any
 // previously prepared base must be re-prepared afterwards.
-func (e *SwapEvaluator[P]) Cost(s *SwapScratch, chosen []int) float64 {
+func (e *SwapEvaluator[P]) Cost(b *SwapBase, s *SwapScratch, chosen []int) float64 {
 	if len(chosen) == 0 {
 		return 0
 	}
-	e.PrepareBase(chosen, 0)
-	return e.EvalSwap(s, chosen[0])
+	e.PrepareBase(b, chosen, 0)
+	return e.EvalSwap(b, s, chosen[0])
 }
 
 // EcostSweepCtx evaluates the full single-swap neighborhood of a center set
-// on the exact unassigned objective: out[pos][c] is the E-cost of chosen
-// with chosen[pos] replaced by candidates[c]. out[pos][chosen[pos]] is the
-// cost of the chosen set itself, and a column already in the set yields the
-// cost of the correspondingly shrunk set (duplicate centers don't change a
-// min). One evaluator build (O(m·N) metric calls) serves all k·m entries;
-// the per-position scans fan out over `workers` goroutines with
+// on the exact unassigned objective over a raw point set, compiling it per
+// call; see EcostSweepCompiled for the semantics. Callers solving one
+// instance repeatedly should Compile once and use EcostSweepCompiled, which
+// reuses the instance's memoized evaluator across calls.
+func EcostSweepCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, chosen []int, workers int, disableCache bool) ([][]float64, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: EcostSweep needs candidates")
+	}
+	c, err := Compile(ctx, space, pts, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return EcostSweepCompiled(ctx, c, chosen, workers, disableCache)
+}
+
+// EcostSweepCompiled evaluates the full single-swap neighborhood of a
+// center set on the exact unassigned objective of a compiled instance:
+// out[pos][c] is the E-cost of chosen with chosen[pos] replaced by
+// candidate c (indices into CandidatesOrLocations()). out[pos][chosen[pos]]
+// is the cost of the chosen set itself, and a column already in the set
+// yields the cost of the correspondingly shrunk set (duplicate centers
+// don't change a min). The instance's memoized evaluator (one O(m·N)
+// metric-call build per instance LIFETIME, not per sweep) serves all k·m
+// entries; the per-position scans fan out over `workers` goroutines with
 // bit-identical results and honor ctx. disableCache skips the 12·m·N-byte
 // distance-RV table and evaluates every entry from scratch (the memory
-// escape hatch, ≤ 1e-12 relative from the cached values).
-func EcostSweepCtx[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, chosen []int, workers int, disableCache bool) ([][]float64, error) {
+// escape hatch, ≤ 1e-12 relative from the cached values) without touching
+// the instance's cache.
+func EcostSweepCompiled[P any](ctx context.Context, c *Compiled[P], chosen []int, workers int, disableCache bool) ([][]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return nil, err
-	}
+	candidates := c.CandidatesOrLocations()
 	if len(chosen) == 0 {
 		return nil, fmt.Errorf("core: EcostSweep with no centers")
 	}
-	for _, c := range chosen {
-		if c < 0 || c >= len(candidates) {
-			return nil, fmt.Errorf("core: EcostSweep center index %d out of range [0,%d)", c, len(candidates))
+	for _, ch := range chosen {
+		if ch < 0 || ch >= len(candidates) {
+			return nil, fmt.Errorf("core: EcostSweep center index %d out of range [0,%d)", ch, len(candidates))
 		}
 	}
 	if workers < 1 {
 		workers = 1
 	}
 	if disableCache {
-		return ecostSweepScratch(ctx, space, pts, candidates, chosen, workers)
+		return ecostSweepScratch(ctx, c, candidates, chosen, workers)
 	}
-	ev, err := NewSwapEvaluator(ctx, space, pts, candidates, workers)
+	ev, err := c.Evaluator(ctx, workers)
 	if err != nil {
 		return nil, err
 	}
+	base := ev.NewBase()
 	scratches := make([]*SwapScratch, workers)
 	for w := range scratches {
 		scratches[w] = ev.NewScratch()
 	}
 	out := make([][]float64, len(chosen))
 	for pos := range chosen {
-		ev.PrepareBase(chosen, pos)
+		ev.PrepareBase(base, chosen, pos)
 		row := make([]float64, len(candidates))
-		if err := par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
-			row[c] = ev.EvalSwap(scratches[w], c)
+		if err := par.ForWorker(ctx, len(candidates), workers, func(w, cd int) {
+			row[cd] = ev.EvalSwap(base, scratches[w], cd)
 		}); err != nil {
 			return nil, err
 		}
@@ -283,34 +311,25 @@ func EcostSweepCtx[P any](ctx context.Context, space metricspace.Space[P], pts [
 	return out, nil
 }
 
-// ecostSweepScratch is EcostSweepCtx without the distance-RV table: every
-// (position, candidate) entry is a from-scratch exact evaluation on a
-// per-worker center buffer.
-func ecostSweepScratch[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, chosen []int, workers int) ([][]float64, error) {
+// ecostSweepScratch is the sweep without the distance-RV table: every
+// (position, candidate) entry is a from-scratch exact evaluation on
+// per-worker scratch (center buffer, flat distance values, sweep arena).
+func ecostSweepScratch[P any](ctx context.Context, c *Compiled[P], candidates []P, chosen []int, workers int) ([][]float64, error) {
 	base := make([]P, len(chosen))
-	for i, c := range chosen {
-		base[i] = candidates[c]
+	for i, ch := range chosen {
+		base[i] = candidates[ch]
 	}
-	bufs := make([][]P, workers)
-	for w := range bufs {
-		bufs[w] = make([]P, len(chosen))
-	}
-	errs := make([]error, len(candidates))
+	scr := c.newFlatScratches(len(chosen), workers)
 	out := make([][]float64, len(chosen))
 	for pos := range chosen {
 		row := make([]float64, len(candidates))
-		if err := par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
-			centers := bufs[w]
-			copy(centers, base)
-			centers[pos] = candidates[c]
-			row[c], errs[c] = ecostUnassignedRaw(space, pts, centers)
+		if err := par.ForWorker(ctx, len(candidates), workers, func(w, cd int) {
+			s := scr[w]
+			copy(s.centers, base)
+			s.centers[pos] = candidates[cd]
+			row[cd] = c.ecostUnassignedFlat(s.centers, s.vals, &s.arena)
 		}); err != nil {
 			return nil, err
-		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
 		}
 		out[pos] = row
 	}

@@ -60,7 +60,7 @@ func TestSwapEvaluatorMatchesRaw(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := ev.NewScratch()
+		base, s := ev.NewBase(), ev.NewScratch()
 
 		centers := make([]geom.Vec, len(chosen))
 		for i, c := range chosen {
@@ -70,14 +70,14 @@ func TestSwapEvaluatorMatchesRaw(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := ev.Cost(s, chosen); relDiff(got, want) > 1e-12 {
+		if got := ev.Cost(base, s, chosen); relDiff(got, want) > 1e-12 {
 			t.Fatalf("trial %d: Cost = %g, raw = %g (rel %g)", trial, got, want, relDiff(got, want))
 		}
 
 		for pos := range chosen {
-			ev.PrepareBase(chosen, pos)
+			ev.PrepareBase(base, chosen, pos)
 			for c := range cands {
-				got := ev.EvalSwap(s, c)
+				got := ev.EvalSwap(base, s, c)
 				centers[pos] = cands[c]
 				want, err := core.EcostUnassigned[geom.Vec](euclid, pts, centers)
 				if err != nil {
@@ -106,15 +106,15 @@ func TestSwapEvaluatorFiniteMetric(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := ev.NewScratch()
+		base, s := ev.NewBase(), ev.NewScratch()
 		centers := make([]int, len(chosen))
 		for i, c := range chosen {
 			centers[i] = cands[c]
 		}
 		for pos := range chosen {
-			ev.PrepareBase(chosen, pos)
+			ev.PrepareBase(base, chosen, pos)
 			for c := range cands {
-				got := ev.EvalSwap(s, c)
+				got := ev.EvalSwap(base, s, c)
 				centers[pos] = cands[c]
 				want, err := core.EcostUnassigned[int](space, pts, centers)
 				if err != nil {

@@ -24,7 +24,8 @@ type LocalSearchOptions struct {
 	// n×m distance-RV cache plus per-position base precomputation) and
 	// falls back to from-scratch evaluation of every candidate swap — the
 	// cross-check oracle. The cache costs ~12 bytes per (candidate, support
-	// atom) pair; disable it when m·Σz_i is too large to hold in memory.
+	// atom) pair and, on a compiled instance, is memoized for the instance
+	// lifetime; disable it when m·Σz_i is too large to hold in memory.
 	// Costs agree with the cached path to ≤ 1e-12 relative and the swap
 	// trajectories are identical (pinned by tests).
 	DisableSwapCache bool
@@ -45,15 +46,32 @@ func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncerta
 	return SolveUnassignedLS(context.Background(), space, pts, candidates, k, LocalSearchOptions{MaxIter: maxIter})
 }
 
-// SolveUnassignedLS optimizes the paper's UNASSIGNED objective
+// SolveUnassignedLS optimizes the paper's unassigned objective over a raw
+// point set, compiling it per call; see SolveUnassignedLSCompiled for the
+// algorithm. Callers that solve one instance repeatedly should Compile once
+// and use SolveUnassignedLSCompiled, which reuses the instance's memoized
+// 1-center surrogates and distance-RV evaluator across solves.
+func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, opts LocalSearchOptions) ([]P, float64, error) {
+	if len(candidates) == 0 {
+		return nil, 0, fmt.Errorf("core: SolveUnassignedLS needs candidates")
+	}
+	c, err := Compile(ctx, space, pts, candidates)
+	if err != nil {
+		return nil, 0, err
+	}
+	return SolveUnassignedLSCompiled(ctx, c, k, opts)
+}
+
+// SolveUnassignedLSCompiled optimizes the paper's UNASSIGNED objective
 //
 //	Ecost(C) = E[max_i min_j d(X_i, c_j)]
 //
-// over centers drawn from a candidate set, by single-swap local search on
-// the exact cost evaluator: start from the ED-surrogate pipeline's centers
-// snapped to their nearest candidates, then repeatedly apply the best
-// improving (center-out, candidate-in) swap until none improves by more
-// than a relative 1e-9 or MaxIter rounds pass.
+// over centers drawn from the compiled instance's candidate set
+// (CandidatesOrLocations()), by single-swap local search on the exact cost
+// evaluator: start from the ED-surrogate pipeline's centers snapped to
+// their nearest candidates, then repeatedly apply the best improving
+// (center-out, candidate-in) swap until none improves by more than a
+// relative 1e-9 or MaxIter rounds pass.
 //
 // The paper defines this version but provides no algorithm for it (it cites
 // the Huang–Li PTAS); this is the practical heuristic the exact O(N log N)
@@ -62,19 +80,20 @@ func SolveUnassignedLocalSearch[P any](space metricspace.Space[P], pts []uncerta
 // to single swaps; on brute-forceable instances the tests compare it
 // against the global optimum.
 //
-// The neighborhood scan (one exact evaluation per candidate, the hot loop)
-// checks ctx between chunks and aborts with ctx.Err(); Parallelism > 1
-// fans the scan out over a worker pool with bit-identical results.
-func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, k int, opts LocalSearchOptions) ([]P, float64, error) {
+// Repeated calls on one Compiled reuse its memoized 1-center surrogates
+// (the seeds) and — unless DisableSwapCache — its memoized distance-RV
+// evaluator, so only the descent itself is paid per solve. The neighborhood
+// scan (one exact evaluation per candidate, the hot loop) checks ctx
+// between chunks and aborts with ctx.Err(); Parallelism > 1 fans the scan
+// out over a worker pool with bit-identical results.
+func SolveUnassignedLSCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts LocalSearchOptions) ([]P, float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := uncertain.ValidateSet(pts); err != nil {
-		return nil, 0, err
+	if c == nil {
+		return nil, 0, fmt.Errorf("core: nil compiled instance")
 	}
-	if len(candidates) == 0 {
-		return nil, 0, fmt.Errorf("core: SolveUnassignedLS needs candidates")
-	}
+	candidates := c.CandidatesOrLocations()
 	if k <= 0 {
 		return nil, 0, fmt.Errorf("core: k = %d", k)
 	}
@@ -89,20 +108,23 @@ func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], p
 	// Multi-start: single-swap local optima can be poor from one seed, so
 	// descend from two structurally different ones and keep the better —
 	// (a) 1-center surrogates snapped to candidates, (b) farthest-first
-	// directly over the candidate set.
-	surr, err := buildSurrogates(ctx, space, pts, candidates, SurrogateOneCenter, opts.Workers())
+	// directly over the candidate set. The surrogates come from the
+	// instance's memoized cache.
+	surr, err := c.Surrogates(ctx, SurrogateOneCenter, candidates, opts.Workers())
 	if err != nil {
 		return nil, 0, err
 	}
+	space := c.Space()
 	seeds := [][]int{
 		greedySeed(space, surr, candidates, k),
 		farthestFirstSeed(space, candidates, k),
 	}
-	// The distance-RV cache depends only on (pts, candidates), so one build
-	// serves every seed's descent.
+	// The distance-RV cache depends only on (pts, candidates), so the
+	// instance's memoized evaluator serves every seed's descent — and every
+	// later solve of the same instance.
 	var ev *SwapEvaluator[P]
 	if !opts.DisableSwapCache {
-		ev, err = NewSwapEvaluator(ctx, space, pts, candidates, opts.Workers())
+		ev, err = c.Evaluator(ctx, opts.Workers())
 		if err != nil {
 			return nil, 0, err
 		}
@@ -110,7 +132,7 @@ func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], p
 	var bestCenters []P
 	bestCost := math.Inf(1)
 	for _, seed := range seeds {
-		centers, cost, err := swapDescent(ctx, space, pts, candidates, seed, maxIter, opts.Workers(), ev)
+		centers, cost, err := swapDescent(ctx, c, candidates, seed, maxIter, opts.Workers(), ev)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -130,9 +152,9 @@ func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], p
 // With a non-nil SwapEvaluator the scan runs on the incremental path: one
 // PrepareBase per position, then a zero-metric-call, allocation-free
 // EvalSwap per candidate. With ev == nil it evaluates every swap from
-// scratch (the cross-check oracle), reusing one hoisted base slice and one
-// center buffer per worker across the whole descent.
-func swapDescent[P any](ctx context.Context, space metricspace.Space[P], pts []uncertain.Point[P], candidates []P, seed []int, maxIter, workers int, ev *SwapEvaluator[P]) ([]P, float64, error) {
+// scratch on the compiled flat layout (the cross-check oracle), reusing
+// per-worker center/value/arena scratch across the whole descent.
+func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, seed []int, maxIter, workers int, ev *SwapEvaluator[P]) ([]P, float64, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -155,52 +177,38 @@ func swapDescent[P any](ctx context.Context, space metricspace.Space[P], pts []u
 	var cost float64
 	var scanPos func(pos int) error
 	if ev != nil {
+		base := ev.NewBase()
 		scratches := make([]*SwapScratch, workers)
 		for w := range scratches {
 			scratches[w] = ev.NewScratch()
 		}
-		cost = ev.Cost(scratches[0], chosen)
+		cost = ev.Cost(base, scratches[0], chosen)
 		scanPos = func(pos int) error {
-			ev.PrepareBase(chosen, pos)
+			ev.PrepareBase(base, chosen, pos)
 			return par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
 				if inSet[c] {
 					return
 				}
-				costs[c] = ev.EvalSwap(scratches[w], c)
+				costs[c] = ev.EvalSwap(base, scratches[w], c)
 			})
 		}
 	} else {
-		var err error
-		if cost, err = ecostUnassignedRaw(space, pts, sel(chosen)); err != nil {
-			return nil, 0, err
-		}
+		scr := cm.newFlatScratches(len(chosen), workers)
+		cost = cm.ecostUnassignedFlat(sel(chosen), scr[0].vals, &scr[0].arena)
 		base := make([]P, len(chosen))
-		bufs := make([][]P, workers)
-		for w := range bufs {
-			bufs[w] = make([]P, len(chosen))
-		}
-		errs := make([]error, len(candidates))
 		scanPos = func(pos int) error {
 			for i, c := range chosen {
 				base[i] = candidates[c]
 			}
-			if err := par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
+			return par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
 				if inSet[c] {
 					return
 				}
-				centers := bufs[w]
-				copy(centers, base)
-				centers[pos] = candidates[c]
-				costs[c], errs[c] = ecostUnassignedRaw(space, pts, centers)
-			}); err != nil {
-				return err
-			}
-			for c, err := range errs {
-				if err != nil && !inSet[c] {
-					return err
-				}
-			}
-			return nil
+				s := scr[w]
+				copy(s.centers, base)
+				s.centers[pos] = candidates[c]
+				costs[c] = cm.ecostUnassignedFlat(s.centers, s.vals, &s.arena)
+			})
 		}
 	}
 

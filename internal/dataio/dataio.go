@@ -2,13 +2,24 @@
 // for the command-line tools and examples. Two instance kinds exist:
 // "euclidean" (locations are coordinate vectors) and "finite" (locations are
 // vertex indices of an explicit distance matrix).
+//
+// Each kind has two loaders: ReadEuclidean/ReadFinite return the plain point
+// set, and ReadEuclideanCompiled/ReadFiniteCompiled load the dataset
+// straight into the compiled flat representation (internal/core.Compiled)
+// with a single validation pass — the decode performs only the structural
+// checks JSON cannot express (finite coordinates, vertex ranges), and
+// compilation validates probabilities, checks dimensions and flattens in
+// one sweep. Serving systems that load-then-solve should prefer the
+// compiled loaders: nothing is validated or flattened twice.
 package dataio
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/metricspace"
 	"repro/internal/uncertain"
@@ -59,8 +70,11 @@ func WriteEuclidean(w io.Writer, pts []uncertain.Point[geom.Vec]) error {
 	return enc.Encode(doc)
 }
 
-// ReadEuclidean parses and validates a Euclidean instance.
-func ReadEuclidean(r io.Reader) ([]uncertain.Point[geom.Vec], error) {
+// decodeEuclidean parses the document shape and performs the structural
+// checks JSON cannot express (coordinate finiteness, dimension agreement).
+// Probability validation is left to the caller's single pass (ValidateSet
+// or core.Compile).
+func decodeEuclidean(r io.Reader) ([]uncertain.Point[geom.Vec], error) {
 	var doc document
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("dataio: %w", err)
@@ -87,13 +101,37 @@ func ReadEuclidean(r io.Reader) ([]uncertain.Point[geom.Vec], error) {
 				return nil, fmt.Errorf("dataio: point %d location %d is not finite", i, j)
 			}
 		}
-		p, err := uncertain.New(locs, ep.Probs)
-		if err != nil {
-			return nil, fmt.Errorf("dataio: point %d: %w", i, err)
-		}
-		pts[i] = p
+		pts[i] = uncertain.Point[geom.Vec]{Locs: locs, Probs: ep.Probs}
 	}
 	return pts, nil
+}
+
+// ReadEuclidean parses and validates a Euclidean instance.
+func ReadEuclidean(r io.Reader) ([]uncertain.Point[geom.Vec], error) {
+	pts, err := decodeEuclidean(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	return pts, nil
+}
+
+// ReadEuclideanCompiled parses a Euclidean instance straight into the
+// compiled flat representation: structural decode, then one combined
+// validate-prune-flatten pass (core.Compile). The returned Compiled carries
+// the memoized per-instance caches every pipeline shares.
+func ReadEuclideanCompiled(r io.Reader) (*core.Compiled[geom.Vec], error) {
+	pts, err := decodeEuclidean(r)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Compile[geom.Vec](context.Background(), metricspace.Euclidean{}, pts, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	return c, nil
 }
 
 // WriteFinite writes a finite-space instance (matrix plus points).
@@ -118,9 +156,10 @@ func WriteFinite(w io.Writer, space *metricspace.Finite, pts []uncertain.Point[i
 	return enc.Encode(doc)
 }
 
-// ReadFinite parses and validates a finite-space instance: the matrix must
-// be a valid metric matrix and every location a valid vertex index.
-func ReadFinite(r io.Reader) (*metricspace.Finite, []uncertain.Point[int], error) {
+// decodeFinite parses the document shape, builds the metric space and
+// checks vertex ranges; probability validation is left to the caller's
+// single pass.
+func decodeFinite(r io.Reader) (*metricspace.Finite, []uncertain.Point[int], error) {
 	var doc document
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, nil, fmt.Errorf("dataio: %w", err)
@@ -142,11 +181,36 @@ func ReadFinite(r io.Reader) (*metricspace.Finite, []uncertain.Point[int], error
 				return nil, nil, fmt.Errorf("dataio: point %d location %d = vertex %d outside space of %d vertices", i, j, v, space.N())
 			}
 		}
-		p, err := uncertain.New(fp.Locs, fp.Probs)
-		if err != nil {
-			return nil, nil, fmt.Errorf("dataio: point %d: %w", i, err)
-		}
-		pts[i] = p
+		pts[i] = uncertain.Point[int]{Locs: fp.Locs, Probs: fp.Probs}
 	}
 	return space, pts, nil
+}
+
+// ReadFinite parses and validates a finite-space instance: the matrix must
+// be a valid metric matrix and every location a valid vertex index.
+func ReadFinite(r io.Reader) (*metricspace.Finite, []uncertain.Point[int], error) {
+	space, pts, err := decodeFinite(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := uncertain.ValidateSet(pts); err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	return space, pts, nil
+}
+
+// ReadFiniteCompiled parses a finite-space instance straight into the
+// compiled flat representation with all space points as the candidate set
+// (mirroring NewFiniteInstance's default); one combined
+// validate-prune-flatten pass.
+func ReadFiniteCompiled(r io.Reader) (*metricspace.Finite, *core.Compiled[int], error) {
+	space, pts, err := decodeFinite(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := core.Compile[int](context.Background(), space, pts, space.Points())
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	return space, c, nil
 }

@@ -113,6 +113,66 @@ func TestReadFiniteRejections(t *testing.T) {
 	}
 }
 
+func TestReadCompiledLoaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, err := gen.GaussianClusters(rng, 8, 3, 2, 2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEuclidean(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	c, err := ReadEuclideanCompiled(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPoints() != len(pts) {
+		t.Fatalf("compiled NumPoints %d, want %d", c.NumPoints(), len(pts))
+	}
+	if got, want := c.NumAtoms(), uncertain.TotalLocations(pts); got != want {
+		t.Fatalf("compiled NumAtoms %d, want %d", got, want)
+	}
+	if !c.IsEuclidean() || c.Dim() != 2 {
+		t.Fatalf("compiled euclidean=%v dim=%d", c.IsEuclidean(), c.Dim())
+	}
+	// The compiled loader must reject what the plain loader rejects.
+	for name, doc := range map[string]string{
+		"bad probs":     `{"kind":"euclidean","dim":1,"points":[{"locs":[[1]],"probs":[0.4]}]}`,
+		"nonfinite loc": `{"kind":"euclidean","dim":1,"points":[{"locs":[[1e999]],"probs":[1]}]}`,
+	} {
+		if _, err := ReadEuclideanCompiled(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted by compiled loader", name)
+		}
+	}
+
+	vecs := make([]geom.Vec, 5)
+	for i := range vecs {
+		vecs[i] = geom.Vec{rng.Float64(), rng.Float64()}
+	}
+	space := metricspace.FromPoints[geom.Vec](metricspace.Euclidean{}, vecs)
+	fpts, err := gen.OnVertices(rng, space, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFinite(&buf, space, fpts); err != nil {
+		t.Fatal(err)
+	}
+	gotSpace, fc, err := ReadFiniteCompiled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.NumPoints() != len(fpts) {
+		t.Fatalf("finite compiled NumPoints %d, want %d", fc.NumPoints(), len(fpts))
+	}
+	// The candidate set defaults to all space points.
+	if got, want := len(fc.Candidates()), gotSpace.N(); got != want {
+		t.Fatalf("finite compiled candidates %d, want %d", got, want)
+	}
+}
+
 func TestWriteValidates(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteEuclidean(&buf, nil); err == nil {

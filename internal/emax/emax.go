@@ -138,6 +138,29 @@ func (a *Arena) ExpectedMax(rvs []RV) (float64, error) {
 	return a.SweepSorted(events, len(rvs)), nil
 }
 
+// ExpectedMaxFlat computes E[max_i X_i] directly from a flat
+// structure-of-arrays atom layout: atom f has value vals[f] with probability
+// probs[f] and belongs to the random variable rvIdx[f] ∈ [0, nRVs). This is
+// the representation a compiled instance (internal/core.Compiled) holds, so
+// the evaluator consumes it without materializing per-RV slices.
+//
+// It is the validation-free fast path: the caller guarantees that values are
+// finite, probabilities are positive (zero-probability atoms pruned), and
+// each RV's total mass is 1 within ProbSumTol — the invariants a compiled
+// instance establishes once at compile time. Given a warmed arena the only
+// allocation is sort.Slice's closure. The result is bit-identical to
+// ExpectedMax over the equivalent per-RV slices: the pre-sort event order
+// (ascending f) matches the per-RV construction order.
+func (a *Arena) ExpectedMaxFlat(vals, probs []float64, rvIdx []int32, nRVs int) float64 {
+	events := a.events[:0]
+	for f, v := range vals {
+		events = append(events, Event{Val: v, Prob: probs[f], RV: rvIdx[f]})
+	}
+	a.events = events
+	sort.Slice(events, func(x, y int) bool { return events[x].Val < events[y].Val })
+	return a.SweepSorted(events, nRVs)
+}
+
 // SweepSorted computes E[max] from an event stream already sorted ascending
 // by Val, for nRVs random variables indexed 0..nRVs-1. It is the sweep of
 // ExpectedMax with the validation and the sort stripped; the caller

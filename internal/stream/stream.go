@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/uncertain"
 )
@@ -212,10 +213,40 @@ func pushSet(ctx context.Context, pts []uncertain.Point[geom.Vec], push func(unc
 	return nil
 }
 
+// pushCompiled feeds a compiled instance's cached expected points into any
+// sketch, checking ctx between points (same cancellation semantics as
+// pushSet). No per-point validation: the instance validated once at compile
+// time.
+func pushCompiled(ctx context.Context, c *core.Compiled[geom.Vec], push func(geom.Vec)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	eps, err := c.Surrogates(ctx, core.SurrogateExpectedPoint, nil, 1)
+	if err != nil {
+		return err
+	}
+	for _, p := range eps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		push(p)
+	}
+	return nil
+}
+
 // PushSet feeds a batch of uncertain points into the sketch, checking ctx
 // between points; see pushSet for the cancellation semantics.
 func (u *Uncertain1Center) PushSet(ctx context.Context, pts []uncertain.Point[geom.Vec]) error {
 	return pushSet(ctx, pts, u.Push)
+}
+
+// PushCompiled feeds every point of a compiled instance into the sketch.
+// The points were validated once at compile time and their expected points
+// come from the instance's memoized surrogate cache, so re-feeding one
+// compiled instance into many sketches (a pool of per-shard sketches, say)
+// computes each P̄ exactly once. Cancellation follows pushSet's semantics.
+func (u *Uncertain1Center) PushCompiled(ctx context.Context, c *core.Compiled[geom.Vec]) error {
+	return pushCompiled(ctx, c, func(p geom.Vec) { u.ball.Push(p) })
 }
 
 // Center returns the current center estimate. It panics before any Push.
@@ -252,6 +283,12 @@ func (u *UncertainKCenter) Push(p uncertain.Point[geom.Vec]) error {
 // between points; see pushSet for the cancellation semantics.
 func (u *UncertainKCenter) PushSet(ctx context.Context, pts []uncertain.Point[geom.Vec]) error {
 	return pushSet(ctx, pts, u.Push)
+}
+
+// PushCompiled feeds every point of a compiled instance into the sketch via
+// its memoized expected points; see Uncertain1Center.PushCompiled.
+func (u *UncertainKCenter) PushCompiled(ctx context.Context, c *core.Compiled[geom.Vec]) error {
+	return pushCompiled(ctx, c, func(p geom.Vec) { u.inc.Push(p) })
 }
 
 // Centers returns the current center set (≤ k).

@@ -177,6 +177,13 @@ func ExpectedPoint(p Point[geom.Vec]) geom.Vec {
 	if err := p.Validate(); err != nil {
 		panic("uncertain: ExpectedPoint of invalid point: " + err.Error())
 	}
+	return ExpectedPointUnchecked(p)
+}
+
+// ExpectedPointUnchecked is ExpectedPoint without the per-call Validate —
+// the hot-path variant for points that are already validated (a compiled
+// instance validates once at compile time). The caller guarantees validity.
+func ExpectedPointUnchecked(p Point[geom.Vec]) geom.Vec {
 	out := geom.NewVec(p.Locs[0].Dim())
 	for j, loc := range p.Locs {
 		out.AxpyInPlace(p.Probs[j], loc)
@@ -201,6 +208,13 @@ func OneCenterEuclidean(p Point[geom.Vec]) geom.Vec {
 	if err := p.Validate(); err != nil {
 		panic("uncertain: OneCenterEuclidean of invalid point: " + err.Error())
 	}
+	return OneCenterEuclideanUnchecked(p)
+}
+
+// OneCenterEuclideanUnchecked is OneCenterEuclidean without the per-call
+// Validate — the hot-path variant for already-validated points (a compiled
+// instance validates once at compile time). The caller guarantees validity.
+func OneCenterEuclideanUnchecked(p Point[geom.Vec]) geom.Vec {
 	var locs []geom.Vec
 	var ws []float64
 	for j, w := range p.Probs {

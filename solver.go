@@ -3,7 +3,6 @@ package ukc
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/clusterx"
@@ -25,6 +24,12 @@ type ResultOf[P any] = core.Result[P]
 // ctx.Err() when it is canceled; WithParallelism(n) fans the hot loops out
 // over a worker pool with bit-identical results.
 //
+// Every method compiles its instance implicitly on first use (see
+// Instance.Compile): the validated flat model, both surrogate kinds and the
+// distance-RV swap evaluator are built once per instance and shared by all
+// later calls — from this solver, another solver, or a Batch pool — so
+// repeated solves of one instance pay only the k-dependent stages.
+//
 //	solver := ukc.NewSolver[ukc.Vec](ukc.WithRule(ukc.RuleEP), ukc.WithParallelism(8))
 //	res, err := solver.Solve(ctx, ukc.NewEuclideanInstance(pts), 3)
 type Solver[P any] struct {
@@ -45,9 +50,8 @@ func NewSolver[P any](opts ...Option) *Solver[P] {
 }
 
 // resolve fills the per-space defaults for options not set explicitly.
-func (s *Solver[P]) resolve(inst Instance[P]) core.Options {
+func (s *Solver[P]) resolve(eu bool) core.Options {
 	opts := s.cfg.opts
-	eu := inst.IsEuclidean()
 	if !s.cfg.surrogateSet {
 		if eu {
 			opts.Surrogate = SurrogateExpectedPoint
@@ -65,22 +69,25 @@ func (s *Solver[P]) resolve(inst Instance[P]) core.Options {
 	return opts
 }
 
-// candidates returns the candidate set a discrete stage should use: the
-// instance's own set, or (outside Euclidean space, where one is mandatory)
-// all point locations.
-func (s *Solver[P]) candidates(inst Instance[P]) []P {
-	if inst.IsEuclidean() {
-		return inst.Candidates
+// compile checks the instance shape and returns its compiled representation
+// (cached in the instance after the first call).
+func (s *Solver[P]) compile(ctx context.Context, inst Instance[P]) (*Compiled[P], error) {
+	if inst.Space == nil {
+		return nil, fmt.Errorf("ukc: instance with nil space")
 	}
-	return inst.candidatesOrLocations()
+	return inst.Compile(ctx)
 }
 
 // Solve runs the uncertain k-center pipeline (Theorems 2.1–2.7) on one
-// instance: surrogate construction, optional coreset, deterministic
-// k-center on the surrogates, rule-based assignment, and exact expected
-// costs.
+// instance: surrogate construction (memoized per instance), optional
+// coreset, deterministic k-center on the surrogates, rule-based assignment,
+// and exact expected costs on the compiled flat model.
 func (s *Solver[P]) Solve(ctx context.Context, inst Instance[P], k int) (ResultOf[P], error) {
-	return core.Solve(ctx, inst.Space, inst.Points, s.candidates(inst), k, s.resolve(inst))
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return ResultOf[P]{}, err
+	}
+	return core.SolveCompiled(ctx, c, k, s.resolve(c.IsEuclidean()))
 }
 
 // SolveUnassigned optimizes the paper's unassigned objective
@@ -88,12 +95,16 @@ func (s *Solver[P]) Solve(ctx context.Context, inst Instance[P], k int) (ResultO
 // search over the candidate set on the exact cost evaluator (the paper
 // defines this version but gives no algorithm; see
 // core.SolveUnassignedLS). Centers are drawn from the instance's candidate
-// set, defaulting to all point locations.
+// set, defaulting to all point locations (including zero-probability ones —
+// pruning removes probability mass, not center sites). The distance-RV
+// cache behind the fast path is memoized in the instance, so repeated
+// calls rebuild nothing.
 func (s *Solver[P]) SolveUnassigned(ctx context.Context, inst Instance[P], k int) ([]P, float64, error) {
-	if inst.Space == nil {
-		return nil, 0, fmt.Errorf("ukc: instance with nil space")
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return nil, 0, err
 	}
-	return core.SolveUnassignedLS(ctx, inst.Space, inst.Points, inst.candidatesOrLocations(), k, core.LocalSearchOptions{
+	return core.SolveUnassignedLSCompiled(ctx, c, k, core.LocalSearchOptions{
 		MaxIter:          s.cfg.maxIter,
 		Parallelism:      s.cfg.opts.Parallelism,
 		DisableSwapCache: s.cfg.noSwapCache,
@@ -103,35 +114,24 @@ func (s *Solver[P]) SolveUnassigned(ctx context.Context, inst Instance[P], k int
 // EcostSweep evaluates the full single-swap neighborhood of a center set on
 // the exact unassigned objective. Each center is snapped to its nearest
 // candidate in the instance's candidate set (defaulting to all point
-// locations); the returned matrix has sweep[pos][c] = the exact E-cost of
-// the snapped set with position pos replaced by candidate c, and
-// sweep[pos][snapped[pos]] is the cost of the snapped set itself. One
-// distance-RV cache build serves all k·m evaluations (see
-// core.SwapEvaluator) unless WithSwapCache(false) selected the from-scratch
+// locations); the returned matrix has
+// sweep[pos][c] = the exact E-cost of the snapped set with position pos
+// replaced by candidate c, and sweep[pos][snapped[pos]] is the cost of the
+// snapped set itself. The instance's memoized distance-RV cache serves all
+// k·m evaluations — one build per instance lifetime, shared with
+// SolveUnassigned — unless WithSwapCache(false) selected the from-scratch
 // path; the scans run on the solver's worker pool with bit-identical
 // results and honor ctx.
 func (s *Solver[P]) EcostSweep(ctx context.Context, inst Instance[P], centers []P) (sweep [][]float64, snapped []int, err error) {
-	if inst.Space == nil {
-		return nil, nil, fmt.Errorf("ukc: instance with nil space")
-	}
 	if len(centers) == 0 {
 		return nil, nil, fmt.Errorf("ukc: EcostSweep with no centers")
 	}
-	cands := inst.candidatesOrLocations()
-	if len(cands) == 0 {
-		return nil, nil, fmt.Errorf("ukc: instance with no candidates")
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return nil, nil, err
 	}
-	snapped = make([]int, len(centers))
-	for i, ctr := range centers {
-		best, bestD := 0, math.Inf(1)
-		for c, cand := range cands {
-			if d := inst.Space.Dist(ctr, cand); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		snapped[i] = best
-	}
-	sweep, err = core.EcostSweepCtx(ctx, inst.Space, inst.Points, cands, snapped, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers(), s.cfg.noSwapCache)
+	snapped = c.SnapToCandidates(centers)
+	sweep, err = core.EcostSweepCompiled(ctx, c, snapped, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers(), s.cfg.noSwapCache)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,10 +144,11 @@ func (s *Solver[P]) EcostSweep(ctx context.Context, inst Instance[P], centers []
 // expected-distance assignment. The returned cost is the exact expected
 // k-median cost of the assignment.
 func (s *Solver[P]) SolveKMedian(ctx context.Context, inst Instance[P], k int) ([]P, []int, float64, error) {
-	if inst.Space == nil {
-		return nil, nil, 0, fmt.Errorf("ukc: instance with nil space")
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return nil, nil, 0, err
 	}
-	return solveKMedianCtx(ctx, inst.Space, inst.Points, inst.candidatesOrLocations(), k, s.cfg.opts.Parallelism)
+	return clusterx.SolveUncertainKMedianCtx(ctx, c.Space(), c.Points(), c.CandidatesOrLocations(), k, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
 }
 
 // SolveKMeans solves the uncertain k-means by the exact reduction (Lloyd on
@@ -170,29 +171,35 @@ func (s *Solver[P]) SolveKMeans(ctx context.Context, inst Instance[P], k int) (c
 }
 
 // Ecost returns the exact assigned expected cost of (centers, assign) on
-// the instance, using the solver's worker pool.
+// the instance, using the solver's worker pool over the compiled flat
+// model.
 func (s *Solver[P]) Ecost(ctx context.Context, inst Instance[P], centers []P, assign []int) (float64, error) {
-	if inst.Space == nil {
-		return 0, fmt.Errorf("ukc: instance with nil space")
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return 0, err
 	}
-	return core.EcostAssignedCtx(ctx, inst.Space, inst.Points, centers, assign, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
+	return c.EcostAssigned(ctx, centers, assign, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
 }
 
 // EcostUnassigned returns the exact unassigned expected cost of centers on
-// the instance, using the solver's worker pool.
+// the instance, using the solver's worker pool over the compiled flat
+// model.
 func (s *Solver[P]) EcostUnassigned(ctx context.Context, inst Instance[P], centers []P) (float64, error) {
-	if inst.Space == nil {
-		return 0, fmt.Errorf("ukc: instance with nil space")
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return 0, err
 	}
-	return core.EcostUnassignedCtx(ctx, inst.Space, inst.Points, centers, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
+	return c.EcostUnassigned(ctx, centers, core.Options{Parallelism: s.cfg.opts.Parallelism}.Workers())
 }
 
 // Assign computes the solver's assignment rule for an existing center set
-// on the instance (the rule defaults per-space exactly as in Solve).
+// on the instance (the rule defaults per-space exactly as in Solve). The
+// EP and OC rules reuse the instance's memoized surrogates.
 func (s *Solver[P]) Assign(ctx context.Context, inst Instance[P], centers []P) ([]int, error) {
-	if inst.Space == nil {
-		return nil, fmt.Errorf("ukc: instance with nil space")
+	c, err := s.compile(ctx, inst)
+	if err != nil {
+		return nil, err
 	}
-	opts := s.resolve(inst)
-	return core.AssignCtx(ctx, inst.Space, inst.Points, centers, opts.Rule, s.candidates(inst), opts.Workers())
+	opts := s.resolve(c.IsEuclidean())
+	return core.AssignCompiled(ctx, c, centers, opts.Rule, c.PipelineCandidates(), opts.Workers())
 }

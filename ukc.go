@@ -243,5 +243,28 @@ func ReadInstance(r io.Reader) ([]Point, error) {
 	return dataio.ReadEuclidean(r)
 }
 
+// ReadCompiledInstance parses a Euclidean instance straight into a
+// ready-to-solve Instance whose compiled representation is already built:
+// the dataset is decoded, validated, pruned and flattened in a single pass,
+// and every later solve reuses that model — the loader for serving systems
+// that read once and solve many times.
+func ReadCompiledInstance(r io.Reader) (Instance[Vec], error) {
+	c, err := dataio.ReadEuclideanCompiled(r)
+	if err != nil {
+		return Instance[Vec]{}, err
+	}
+	return newCompiledInstance(c), nil
+}
+
+// ReadCompiledFiniteInstance is ReadCompiledInstance for finite-space
+// datasets; the candidate set defaults to all space points.
+func ReadCompiledFiniteInstance(r io.Reader) (Instance[int], error) {
+	_, c, err := dataio.ReadFiniteCompiled(r)
+	if err != nil {
+		return Instance[int]{}, err
+	}
+	return newCompiledInstance(c), nil
+}
+
 // SamplePoint draws one realization from an uncertain point.
 func SamplePoint(p Point, rng *rand.Rand) Vec { return p.Sample(rng) }
