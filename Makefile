@@ -9,7 +9,12 @@ GO ?= go
 # accumulates a benchmark history (BENCH_PR3.json, BENCH_PR4.json, ...).
 BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: all vet build test test-race bench bench-parallel bench-json examples check ci
+# Serving-layer trajectory output of bench-serve (the PR-5 tentpole):
+# request throughput with warm-cache hit rate, serve-vs-direct overhead,
+# and the warm unassigned workload.
+SERVE_BENCH_OUT ?= BENCH_PR5.json
+
+.PHONY: all vet build test test-race bench bench-parallel bench-json bench-serve examples check ci
 
 all: check
 
@@ -43,12 +48,22 @@ bench-json:
 		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$|BenchmarkRepeatedSolve$$' \
 		. > $(BENCH_OUT)
 
+# bench-serve records the serving-layer trajectory as a test2json stream
+# into $(SERVE_BENCH_OUT): throughput through the sharded server in the
+# warm-cache and forced-eviction regimes (hit-rate and evictions/op are
+# reported from the server's own metrics), the per-request overhead over a
+# direct Solver call, and the warm unassigned workload.
+bench-serve:
+	$(GO) test -json -run '^$$' -benchmem -bench 'BenchmarkServe' ./serve > $(SERVE_BENCH_OUT)
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/sensornet
 	$(GO) run ./examples/roadnetwork
 	$(GO) run ./examples/adversarial
 	$(GO) run ./examples/streaming
+	$(GO) run ./examples/serving
+	$(GO) run ./cmd/ukserver -selfcheck
 
 check: vet build test test-race
 

@@ -22,10 +22,10 @@ type BatchResult[P any] struct {
 }
 
 // Batch solves many instances concurrently on a shared bounded worker pool —
-// the first serving-scenario primitive: a request handler or offline job
-// submits a slice of instances and gets per-instance results and errors
-// back in order, with a hard cap on concurrent solves and cooperative
-// cancellation of everything in flight.
+// the one-shot serving primitive: a request handler or offline job submits
+// a slice of instances and gets per-instance results and errors back in
+// order, with a hard cap on concurrent solves and cooperative cancellation
+// of everything in flight.
 //
 // The pool bounds INSTANCE-level concurrency; combine with the solver's own
 // WithParallelism to split cores between inter- and intra-instance
@@ -36,6 +36,31 @@ type BatchResult[P any] struct {
 // submissions of one instance) alias one compiled model, so validation,
 // flattening and the surrogate caches are built once no matter how many
 // workers solve it concurrently.
+//
+// # Batch versus serve.Server
+//
+// Batch deliberately stays the minimal pool: it drains one known slice of
+// work and bounds only concurrency — it has no admission control, no
+// per-request deadlines and NO WAY TO BOUND MEMORY: every compiled model
+// and cache submitted through it stays live until the caller drops the
+// instances. Long-lived processes serving open-ended traffic should use
+// the serve package instead, which layers exactly those controls — a named
+// registry, hash-sharded worker pools, bounded queues with ErrOverloaded,
+// deadline plumbing, and byte-budget LRU eviction of the caches
+// (Compiled.CacheBytes/DropCaches) — over the same Solver and compiled
+// core, so results are bit-identical between the two pools
+// (TestServeBatchEquivalence pins this; DESIGN.md §7 has the migration
+// table). A single-shard Server with a large queue is the drop-in
+// managed replacement for a Batch:
+//
+//	batch.SolveAll(ctx, insts, k)            // one-shot, unmanaged
+//
+//	srv, _ := serve.New(solver)              // long-lived, managed
+//	srv.Register(ctx, "inst-i", insts[i])    // once
+//	srv.Solve(ctx, serve.SolveRequest{Instance: "inst-i", K: k})
+//
+// Both run the identical pipeline; Batch remains the right tool for
+// "solve these N instances now and exit".
 type Batch[P any] struct {
 	solver  *Solver[P]
 	workers int

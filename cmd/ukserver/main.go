@@ -1,0 +1,563 @@
+// Command ukserver serves registered uncertain k-center instances over
+// JSON-on-HTTP: a thin shell around serve.Server that exposes the registry
+// (register/unregister/list), the typed workloads (solve, assign, ecost,
+// sweep, unassigned) and the serving metrics snapshot.
+//
+// Instances are registered by uploading the cmd/datagen JSON document (the
+// internal/dataio schema); the document's "kind" field selects the
+// Euclidean or finite-metric server, and registration compiles — and
+// therefore validates — the model before it is ever served. Both kinds run
+// behind the same sharded admission/deadline/eviction machinery.
+//
+//	ukserver -addr :8080 -shards 4 -workers 2 -cache-budget 268435456
+//
+//	curl -X PUT  localhost:8080/v1/instances/fleet --data-binary @fleet.json
+//	curl -X POST localhost:8080/v1/solve -d '{"instance":"fleet","k":3}'
+//	curl        localhost:8080/v1/metrics
+//
+// Status mapping: 404 unknown instance, 409 duplicate registration, 422
+// invalid instance data, 429 shard queue full (ErrOverloaded — back off and
+// retry), 504 deadline exceeded.
+//
+// The -selfcheck flag runs the CI smoke path: boot the full server on a
+// loopback port, drive every endpoint through real HTTP for both instance
+// kinds, print the responses, and exit non-zero on any failure.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	ukc "repro"
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/graphmetric"
+	"repro/serve"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ukserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 2, "independent shards per instance kind")
+		workers   = flag.Int("workers", 2, "workers per shard (<0 = one per CPU)")
+		queue     = flag.Int("queue", 64, "request-queue depth per shard")
+		budget    = flag.Int64("cache-budget", 0, "cache byte budget per shard (0 = unlimited)")
+		deadline  = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		parallel  = flag.Int("parallel", 1, "solver worker count inside one request (<0 = all CPUs)")
+		selfcheck = flag.Bool("selfcheck", false, "boot on a loopback port, exercise every endpoint, exit")
+	)
+	flag.Parse()
+
+	opts := []serve.Option{
+		serve.WithShards(*shards),
+		serve.WithWorkersPerShard(*workers),
+		serve.WithQueueDepth(*queue),
+		serve.WithCacheBudget(*budget),
+		serve.WithDefaultDeadline(*deadline),
+	}
+	gw, err := newGateway(*parallel, opts...)
+	if err != nil {
+		return err
+	}
+	defer gw.close()
+
+	if *selfcheck {
+		return gw.selfcheck()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gw.mux()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ukserver: listening on %s (%d shards × %d workers per kind)\n", *addr, *shards, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "ukserver: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+// gateway owns one serve.Server per instance kind plus the name→kind
+// routing the HTTP layer needs (the generic serving layer is
+// per-location-type; the wire protocol is not). regMu serializes
+// registrations: name uniqueness spans BOTH kind registries, and the two
+// servers cannot enforce a cross-registry invariant themselves — without
+// it, two overlapping PUTs of different kinds could both succeed and the
+// router would shadow one copy forever. Workload traffic never takes it.
+type gateway struct {
+	regMu sync.Mutex
+	eu    *serve.Server[ukc.Vec]
+	fin   *serve.Server[int]
+}
+
+func newGateway(parallel int, opts ...serve.Option) (*gateway, error) {
+	eu, err := serve.New(ukc.NewSolver[ukc.Vec](ukc.WithParallelism(parallel)), opts...)
+	if err != nil {
+		return nil, err
+	}
+	fin, err := serve.New(ukc.NewSolver[int](ukc.WithParallelism(parallel)), opts...)
+	if err != nil {
+		eu.Close()
+		return nil, err
+	}
+	return &gateway{eu: eu, fin: fin}, nil
+}
+
+func (g *gateway) close() {
+	g.eu.Close()
+	g.fin.Close()
+}
+
+// kindOf reports which kind server holds name ("" when neither).
+func (g *gateway) kindOf(name string) string {
+	if _, ok := g.eu.Get(name); ok {
+		return dataio.KindEuclidean
+	}
+	if _, ok := g.fin.Get(name); ok {
+		return dataio.KindFinite
+	}
+	return ""
+}
+
+// workloadRequest is the wire shape shared by every workload endpoint;
+// Centers stays raw until the instance's kind fixes its element type.
+type workloadRequest struct {
+	Instance   string          `json:"instance"`
+	K          int             `json:"k,omitempty"`
+	Centers    json.RawMessage `json:"centers,omitempty"`
+	Assign     []int           `json:"assign,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+}
+
+func (r workloadRequest) deadline() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+// statsOut is the telemetry block attached to every workload response.
+type statsOut struct {
+	Shard    int     `json:"shard"`
+	QueueMS  float64 `json:"queue_ms"`
+	ExecMS   float64 `json:"exec_ms"`
+	CacheHit bool    `json:"cache_hit"`
+}
+
+func toStatsOut(s serve.RequestStats) statsOut {
+	return statsOut{
+		Shard:    s.Shard,
+		QueueMS:  float64(s.Queue.Microseconds()) / 1000,
+		ExecMS:   float64(s.Exec.Microseconds()) / 1000,
+		CacheHit: s.CacheHit,
+	}
+}
+
+func (g *gateway) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/instances/{name}", g.handleRegister)
+	mux.HandleFunc("DELETE /v1/instances/{name}", g.handleUnregister)
+	mux.HandleFunc("GET /v1/instances", g.handleList)
+	mux.HandleFunc("POST /v1/solve", g.workload(bind(g.eu, doSolve[ukc.Vec]), bind(g.fin, doSolve[int])))
+	mux.HandleFunc("POST /v1/assign", g.workload(bind(g.eu, doAssign[ukc.Vec]), bind(g.fin, doAssign[int])))
+	mux.HandleFunc("POST /v1/ecost", g.workload(bind(g.eu, doEcost[ukc.Vec]), bind(g.fin, doEcost[int])))
+	mux.HandleFunc("POST /v1/sweep", g.workload(bind(g.eu, doSweep[ukc.Vec]), bind(g.fin, doSweep[int])))
+	mux.HandleFunc("POST /v1/unassigned", g.workload(bind(g.eu, doUnassigned[ukc.Vec]), bind(g.fin, doUnassigned[int])))
+	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	return mux
+}
+
+func (g *gateway) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Names are unique across BOTH kinds — the workload router resolves a
+	// name to one kind, so a same-name instance of the other kind would be
+	// shadowed and unreachable. The check and the register must be one
+	// atomic step (regMu), or two overlapping PUTs could both pass it.
+	g.regMu.Lock()
+	defer g.regMu.Unlock()
+	if g.kindOf(name) != "" {
+		httpError(w, http.StatusConflict, fmt.Errorf("instance %q already registered", name))
+		return
+	}
+	var head struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(body, &head); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing instance document: %w", err))
+		return
+	}
+	switch head.Kind {
+	case dataio.KindEuclidean:
+		inst, err := ukc.ReadCompiledInstance(bytes.NewReader(body))
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		err = g.eu.Register(r.Context(), name, inst)
+		g.finishRegister(w, name, head.Kind, inst.N(), err)
+	case dataio.KindFinite:
+		inst, err := ukc.ReadCompiledFiniteInstance(bytes.NewReader(body))
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		err = g.fin.Register(r.Context(), name, inst)
+		g.finishRegister(w, name, head.Kind, inst.N(), err)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown instance kind %q", head.Kind))
+	}
+}
+
+func (g *gateway) finishRegister(w http.ResponseWriter, name, kind string, n int, err error) {
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, serve.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		} else if g.kindOf(name) != "" {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"instance": name, "kind": kind, "points": n})
+}
+
+func (g *gateway) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Evaluate both unconditionally (no short-circuit): should a name ever
+	// exist under both kinds, one DELETE removes every copy.
+	ue, uf := g.eu.Unregister(name), g.fin.Unregister(name)
+	if !ue && !uf {
+		httpError(w, http.StatusNotFound, fmt.Errorf("instance %q not registered", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"instance": name, "unregistered": true})
+}
+
+func (g *gateway) handleList(w http.ResponseWriter, _ *http.Request) {
+	type instOut struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	}
+	out := []instOut{}
+	for _, n := range g.eu.Names() {
+		out = append(out, instOut{n, dataio.KindEuclidean})
+	}
+	for _, n := range g.fin.Names() {
+		out = append(out, instOut{n, dataio.KindFinite})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"instances": out})
+}
+
+func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"euclidean": metricsOut(g.eu.Metrics()),
+		"finite":    metricsOut(g.fin.Metrics()),
+	})
+}
+
+// shardOut is the wire shape of one shard's metrics snapshot.
+type shardOut struct {
+	Shard       int     `json:"shard"`
+	Instances   int     `json:"instances"`
+	QueueDepth  int     `json:"queue_depth"`
+	QueueCap    int     `json:"queue_cap"`
+	CacheBytes  int64   `json:"cache_bytes"`
+	CacheBudget int64   `json:"cache_budget"`
+	Admitted    uint64  `json:"admitted"`
+	Rejected    uint64  `json:"rejected"`
+	Completed   uint64  `json:"completed"`
+	Failed      uint64  `json:"failed"`
+	Expired     uint64  `json:"expired"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	Evictions   uint64  `json:"evictions"`
+	HitRate     float64 `json:"hit_rate"`
+	P50MS       float64 `json:"latency_p50_ms"`
+	P99MS       float64 `json:"latency_p99_ms"`
+}
+
+func metricsOut(m serve.Metrics) []shardOut {
+	out := make([]shardOut, 0, len(m.Shards)+1)
+	for _, s := range append(m.Shards, m.Totals()) {
+		out = append(out, shardOut{
+			Shard:       s.Shard,
+			Instances:   s.Instances,
+			QueueDepth:  s.QueueDepth,
+			QueueCap:    s.QueueCap,
+			CacheBytes:  s.CacheBytes,
+			CacheBudget: s.CacheBudget,
+			Admitted:    s.Admitted,
+			Rejected:    s.Rejected,
+			Completed:   s.Completed,
+			Failed:      s.Failed,
+			Expired:     s.Expired,
+			CacheHits:   s.CacheHits,
+			CacheMisses: s.CacheMisses,
+			Evictions:   s.Evictions,
+			HitRate:     s.HitRate(),
+			P50MS:       float64(s.LatencyP50.Microseconds()) / 1000,
+			P99MS:       float64(s.LatencyP99.Microseconds()) / 1000,
+		})
+	}
+	return out
+}
+
+// workload decodes the shared request shape, routes it to the per-kind
+// handler owning the named instance, and maps serving errors to HTTP
+// status codes.
+func (g *gateway) workload(eu func(context.Context, workloadRequest) (any, error), fin func(context.Context, workloadRequest) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req workloadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var (
+			out any
+			err error
+		)
+		switch g.kindOf(req.Instance) {
+		case dataio.KindEuclidean:
+			out, err = eu(r.Context(), req)
+		case dataio.KindFinite:
+			out, err = fin(r.Context(), req)
+		default:
+			err = fmt.Errorf("%w: %q", serve.ErrNotFound, req.Instance)
+		}
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func decodeCenters[P any](raw json.RawMessage) ([]P, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing centers")
+	}
+	var out []P
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("parsing centers: %w", err)
+	}
+	return out, nil
+}
+
+// The workload adapters between the wire shape and the typed serve API:
+// one generic function per workload, instantiated for both instance kinds
+// in mux() via bind — a fix to one workload can never miss the other kind.
+
+// bind fixes a generic workload adapter to one kind's server.
+func bind[P any](srv *serve.Server[P], f func(*serve.Server[P], context.Context, workloadRequest) (any, error)) func(context.Context, workloadRequest) (any, error) {
+	return func(ctx context.Context, req workloadRequest) (any, error) { return f(srv, ctx, req) }
+}
+
+func doSolve[P any](srv *serve.Server[P], ctx context.Context, req workloadRequest) (any, error) {
+	resp, err := srv.Solve(ctx, serve.SolveRequest{Instance: req.Instance, K: req.K, Deadline: req.deadline()})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"centers":          resp.Result.Centers,
+		"assign":           resp.Result.Assign,
+		"ecost":            resp.Result.Ecost,
+		"ecost_unassigned": resp.Result.EcostUnassigned,
+		"certain_radius":   resp.Result.CertainRadius,
+		"effective_eps":    resp.Result.EffectiveEps,
+		"stats":            toStatsOut(resp.Stats),
+	}, nil
+}
+
+func doAssign[P any](srv *serve.Server[P], ctx context.Context, req workloadRequest) (any, error) {
+	centers, err := decodeCenters[P](req.Centers)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := srv.Assign(ctx, serve.AssignRequest[P]{Instance: req.Instance, Centers: centers, Deadline: req.deadline()})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"assign": resp.Assign, "stats": toStatsOut(resp.Stats)}, nil
+}
+
+func doEcost[P any](srv *serve.Server[P], ctx context.Context, req workloadRequest) (any, error) {
+	centers, err := decodeCenters[P](req.Centers)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := srv.Ecost(ctx, serve.EcostRequest[P]{Instance: req.Instance, Centers: centers, Assign: req.Assign, Deadline: req.deadline()})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"ecost": resp.Ecost, "stats": toStatsOut(resp.Stats)}, nil
+}
+
+func doSweep[P any](srv *serve.Server[P], ctx context.Context, req workloadRequest) (any, error) {
+	centers, err := decodeCenters[P](req.Centers)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := srv.EcostSweep(ctx, serve.EcostSweepRequest[P]{Instance: req.Instance, Centers: centers, Deadline: req.deadline()})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"sweep": resp.Sweep, "snapped": resp.Snapped, "stats": toStatsOut(resp.Stats)}, nil
+}
+
+func doUnassigned[P any](srv *serve.Server[P], ctx context.Context, req workloadRequest) (any, error) {
+	resp, err := srv.SolveUnassigned(ctx, serve.UnassignedRequest{Instance: req.Instance, K: req.K, Deadline: req.deadline()})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"centers": resp.Centers, "ecost": resp.Ecost, "stats": toStatsOut(resp.Stats)}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+// selfcheck boots the gateway on a loopback port and drives every endpoint
+// through real HTTP for both instance kinds — the CI smoke path.
+func (g *gateway) selfcheck() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: g.mux()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	rng := rand.New(rand.NewSource(1))
+
+	// Euclidean instance via cmd/datagen's writer.
+	pts, err := gen.GaussianClusters(rng, 40, 4, 2, 3, 1, 0.4)
+	if err != nil {
+		return err
+	}
+	var euBody bytes.Buffer
+	if err := dataio.WriteEuclidean(&euBody, pts); err != nil {
+		return err
+	}
+	// Finite instance on a random geometric graph metric.
+	graph, _, err := graphmetric.RandomGeometric(30, 0.3, rng)
+	if err != nil {
+		return err
+	}
+	space, err := graph.Metric()
+	if err != nil {
+		return err
+	}
+	fpts, err := gen.OnVerticesLocal(rng, space, 20, 3)
+	if err != nil {
+		return err
+	}
+	var finBody bytes.Buffer
+	if err := dataio.WriteFinite(&finBody, space, fpts); err != nil {
+		return err
+	}
+
+	steps := []struct {
+		name, method, path string
+		body               io.Reader
+		wantStatus         int
+	}{
+		{"register-euclidean", http.MethodPut, "/v1/instances/smoke-eu", &euBody, http.StatusCreated},
+		{"register-finite", http.MethodPut, "/v1/instances/smoke-fin", &finBody, http.StatusCreated},
+		{"list", http.MethodGet, "/v1/instances", nil, http.StatusOK},
+		{"solve-euclidean", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"smoke-eu","k":3}`), http.StatusOK},
+		{"solve-finite", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"smoke-fin","k":2}`), http.StatusOK},
+		{"assign-euclidean", http.MethodPost, "/v1/assign", jsonBody(`{"instance":"smoke-eu","centers":[[0,0],[4,4]]}`), http.StatusOK},
+		{"assign-finite", http.MethodPost, "/v1/assign", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
+		{"unassigned-euclidean", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-eu","k":2}`), http.StatusOK},
+		{"unassigned-finite", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-fin","k":2}`), http.StatusOK},
+		{"ecost-euclidean", http.MethodPost, "/v1/ecost", jsonBody(`{"instance":"smoke-eu","centers":[[0,0],[4,4]]}`), http.StatusOK},
+		{"ecost-finite", http.MethodPost, "/v1/ecost", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
+		{"sweep-euclidean", http.MethodPost, "/v1/sweep", jsonBody(`{"instance":"smoke-eu","centers":[[0,0],[4,4]]}`), http.StatusOK},
+		{"sweep-finite", http.MethodPost, "/v1/sweep", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
+		{"solve-unknown", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"ghost","k":2}`), http.StatusNotFound},
+		{"metrics", http.MethodGet, "/v1/metrics", nil, http.StatusOK},
+		{"unregister", http.MethodDelete, "/v1/instances/smoke-eu", nil, http.StatusOK},
+		{"solve-after-unregister", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"smoke-eu","k":3}`), http.StatusNotFound},
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, s := range steps {
+		req, err := http.NewRequest(s.method, base+s.path, s.body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode != s.wantStatus {
+			return fmt.Errorf("%s: status %d, want %d: %s", s.name, resp.StatusCode, s.wantStatus, out)
+		}
+		fmt.Printf("selfcheck %-24s %d %s\n", s.name, resp.StatusCode, truncate(out, 140))
+	}
+	fmt.Println("selfcheck: ok")
+	return nil
+}
+
+func jsonBody(s string) io.Reader { return bytes.NewReader([]byte(s)) }
+
+func truncate(b []byte, n int) string {
+	s := string(bytes.TrimSpace(b))
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+)
+
+// TestSelfcheck runs the full CI smoke path in-process: every endpoint,
+// both instance kinds, over real HTTP on a loopback port.
+func TestSelfcheck(t *testing.T) {
+	gw, err := newGateway(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+	if err := gw.selfcheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	gw, err := newGateway(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+	ts := httptest.NewServer(gw.mux())
+	defer ts.Close()
+
+	pts, err := gen.GaussianClusters(rand.New(rand.NewSource(3)), 15, 3, 2, 2, 1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := dataio.WriteEuclidean(&body, pts); err != nil {
+		t.Fatal(err)
+	}
+	doc := body.String()
+
+	do := func(method, path, payload string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := do(http.MethodPut, "/v1/instances/a", doc); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	// Duplicate registration conflicts — including under the OTHER kind:
+	// names are unique across kinds, or the router would shadow one copy.
+	if resp := do(http.MethodPut, "/v1/instances/a", doc); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate register: %d, want 409", resp.StatusCode)
+	}
+	finDoc := `{"kind":"finite","metric":[[0,1],[1,0]],"finite_points":[{"locs":[0,1],"probs":[0.5,0.5]}]}`
+	if resp := do(http.MethodPut, "/v1/instances/a", finDoc); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-kind duplicate register: %d, want 409", resp.StatusCode)
+	}
+	// Garbage documents are unprocessable; garbage JSON is a bad request.
+	if resp := do(http.MethodPut, "/v1/instances/b", `{"kind":"euclidean","points":[{"locs":[[1,2]],"probs":[0.2]}]}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid instance: %d, want 422", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, "/v1/instances/c", `{nope`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: %d, want 400", resp.StatusCode)
+	}
+	// deadline_ms 0 means "no per-request deadline": the solve succeeds.
+	if resp := do(http.MethodPost, "/v1/solve", `{"instance":"a","k":2,"deadline_ms":0}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodPost, "/v1/ecost", `{"instance":"a"}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ecost without centers: %d, want 422", resp.StatusCode)
+	}
+	if resp := do(http.MethodDelete, "/v1/instances/zzz", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unregister unknown: %d, want 404", resp.StatusCode)
+	}
+}

@@ -120,6 +120,18 @@ func newCompiledInstance[P any](c *core.Compiled[P]) Instance[P] {
 	}
 }
 
+// InstanceOf wraps an already-compiled model as an Instance whose compile
+// cache is pre-populated: every Solver method called on the result consumes
+// c directly, with no re-validation and no second compile. The serving
+// layer (package serve) uses it to pin each registered instance to the one
+// compiled model whose caches it meters and evicts.
+func InstanceOf[P any](c *Compiled[P]) (Instance[P], error) {
+	if c == nil {
+		return Instance[P]{}, fmt.Errorf("ukc: InstanceOf(nil)")
+	}
+	return newCompiledInstance(c), nil
+}
+
 // Compile returns the instance's compiled representation, building it on
 // first use: one validation pass (structural invariants, probability sums,
 // Euclidean dimension agreement), zero-probability-atom pruning, and the

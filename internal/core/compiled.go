@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/emax"
 	"repro/internal/geom"
@@ -24,7 +26,13 @@ type memo[T any] struct {
 	val  T
 }
 
-func (m *memo[T]) get(build func() (T, error)) (T, error) {
+// get returns the cached value, invoking build under the mutex on first
+// use. A successful build bumps builds (the instance's cache-build counter
+// behind Compiled.CacheBuilds) while the mutex is still held, so the
+// counter increment is atomic with build completion: an observer that
+// snapshots the counter and then reads a warm value can never see the bump
+// land afterwards.
+func (m *memo[T]) get(builds *atomic.Uint64, build func() (T, error)) (T, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.done {
@@ -36,7 +44,28 @@ func (m *memo[T]) get(build func() (T, error)) (T, error) {
 		return zero, err
 	}
 	m.val, m.done = v, true
+	builds.Add(1)
 	return v, nil
+}
+
+// peek returns the cached value without building it: ok reports whether a
+// build has completed. The cache-accounting paths (CacheBytes) use it to
+// measure without materializing.
+func (m *memo[T]) peek() (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.val, m.done
+}
+
+// drop empties the cell: the next get rebuilds from scratch. Callers holding
+// a previously returned value keep a valid (immutable) reference — drop
+// releases the cell's reference only, so in-flight consumers are unaffected
+// and the memory is reclaimed when the last holder lets go.
+func (m *memo[T]) drop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var zero T
+	m.val, m.done = zero, false
 }
 
 // Compiled is the immutable per-instance core every pipeline consumes: the
@@ -88,7 +117,18 @@ type Compiled[P any] struct {
 	surrOCFree memo[[]P]                // continuous 1-centers P̃ (Euclidean, no candidates)
 	surrOCCand memo[[]P]                // 1-centers P̃ over CandidatesOrLocations()
 	evCache    memo[*SwapEvaluator[P]]  // n×m distance-RV table over CandidatesOrLocations()
+
+	builds atomic.Uint64 // completed cache builds (see CacheBuilds)
 }
+
+// CacheBuilds returns the number of memoized-cache builds (surrogate
+// slices, the swap evaluator) completed over this instance's lifetime —
+// a monotonic counter that never decreases, not even on DropCaches, and
+// whose increments are atomic with build completion (bumped under the
+// memo mutex). Serving layers snapshot it around a request to classify
+// warm-cache hits (unchanged counter) versus builds, immune to the races
+// a byte-delta comparison has with concurrent eviction.
+func (c *Compiled[P]) CacheBuilds() uint64 { return c.builds.Load() }
 
 // Compile validates, prunes and flattens an uncertain point set into the
 // immutable per-instance representation every pipeline consumes. candidates
@@ -273,7 +313,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 		if !c.isEuclidean {
 			return nil, fmt.Errorf("core: the expected-point surrogate requires a Euclidean space")
 		}
-		return c.surrEP.get(func() ([]P, error) {
+		return c.surrEP.get(&c.builds, func() ([]P, error) {
 			eu := c.euclideanPts()
 			out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
 				return uncertain.ExpectedPointUnchecked(eu[i])
@@ -288,7 +328,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 			if !c.isEuclidean {
 				return nil, fmt.Errorf("core: the discrete 1-center surrogate needs a candidate set")
 			}
-			return c.surrOCFree.get(func() ([]P, error) {
+			return c.surrOCFree.get(&c.builds, func() ([]P, error) {
 				eu := c.euclideanPts()
 				out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
 					return uncertain.OneCenterEuclideanUnchecked(eu[i])
@@ -306,7 +346,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 			})
 		}
 		if sameSlice(candidates, c.CandidatesOrLocations()) {
-			return c.surrOCCand.get(build)
+			return c.surrOCCand.get(&c.builds, build)
 		}
 		return build()
 	default:
@@ -323,9 +363,73 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 // held for the lifetime of the Compiled — use the DisableSwapCache /
 // WithSwapCache(false) escape hatch to avoid building it.
 func (c *Compiled[P]) Evaluator(ctx context.Context, workers int) (*SwapEvaluator[P], error) {
-	return c.evCache.get(func() (*SwapEvaluator[P], error) {
+	return c.evCache.get(&c.builds, func() (*SwapEvaluator[P], error) {
 		return newSwapEvaluatorCompiled(ctx, c, c.CandidatesOrLocations(), workers)
 	})
+}
+
+// surrogateElemBytes is the per-element cost of one memoized surrogate
+// entry, following the DESIGN.md §4a memory formula: sizeof(P) per element,
+// plus the 8·dim coordinate payload behind the slice header in Euclidean
+// space (surrogate vectors are freshly allocated, unlike the arena's
+// locations, which alias the input points).
+func (c *Compiled[P]) surrogateElemBytes() int64 {
+	var zero P
+	b := int64(unsafe.Sizeof(zero))
+	if c.isEuclidean {
+		b += int64(8 * c.dim)
+	}
+	return b
+}
+
+// CacheBytes returns the exact byte cost of the memoized derived state
+// currently held by this instance — the DESIGN.md §4a formula, applied to
+// whichever caches have actually been built:
+//
+//   - each built surrogate slice (P̄, continuous P̃, candidate P̃) costs
+//     n·sizeof(P), plus the 8·d coordinate payload per element in Euclidean
+//     space;
+//   - the distance-RV swap evaluator costs 12·m·N bytes — one float64
+//     distance and one int32 sort index per (candidate, atom) pair — the
+//     dominant term for any nontrivial candidate set.
+//
+// The compiled arena itself (flat atoms, offsets, pruned point views) is
+// NOT counted: it is the instance's identity, not a cache, and DropCaches
+// keeps it. Serving layers use CacheBytes as the eviction weight of a
+// byte-budget LRU over registered instances.
+func (c *Compiled[P]) CacheBytes() int64 {
+	var total int64
+	eb := c.surrogateElemBytes()
+	n := int64(len(c.pts))
+	if _, ok := c.surrEP.peek(); ok {
+		total += n * eb
+	}
+	if _, ok := c.surrOCFree.peek(); ok {
+		total += n * eb
+	}
+	if _, ok := c.surrOCCand.peek(); ok {
+		total += n * eb
+	}
+	if ev, ok := c.evCache.peek(); ok && ev != nil {
+		total += 12 * int64(len(ev.cols)) * int64(ev.NumAtoms())
+	}
+	return total
+}
+
+// DropCaches releases every memoized cache — both surrogate kinds and the
+// distance-RV swap evaluator — returning CacheBytes to zero while keeping
+// the compiled arena (validation, pruning and flattening are never redone).
+// The next solve that needs a dropped cache rebuilds it lazily and, because
+// every build is deterministic, produces bit-identical results to a solve
+// against the never-dropped caches. In-flight consumers holding a
+// previously returned surrogate slice or evaluator keep valid immutable
+// references; the memory is reclaimed when the last holder lets go. Safe to
+// call concurrently with solves.
+func (c *Compiled[P]) DropCaches() {
+	c.surrEP.drop()
+	c.surrOCFree.drop()
+	c.surrOCCand.drop()
+	c.evCache.drop()
 }
 
 // SnapToCandidates returns, for each center, the index of its nearest

@@ -68,6 +68,16 @@ func (c Config) solveMetric(space metricspace.Space[int], pts []uncertain.Point[
 	return core.Solve[int](c.context(), space, pts, candidates, k, opts)
 }
 
+// solveCompiled is the repeated-solve path: it runs the pipeline on an
+// already-compiled instance, so validation, flattening and the memoized
+// surrogates are shared across every solve of the same pool entry (the R3
+// experiment measures exactly this amortization).
+func (c Config) solveCompiled(cc *core.Compiled[geom.Vec], k int, o core.EuclideanOptions) (core.Result[geom.Vec], error) {
+	opts := core.OptionsFromEuclidean(o)
+	opts.Parallelism = c.Parallelism
+	return core.SolveCompiled(c.context(), cc, k, opts)
+}
+
 const ratioSlack = 1e-9
 
 // euclideanCandidates is the discrete reference candidate set: all locations
@@ -753,7 +763,7 @@ func abs(x float64) float64 {
 // All runs every experiment in DESIGN.md order.
 func All(cfg Config) ([]*Report, error) {
 	runners := []func(Config) (*Report, error){
-		RunE1, RunEuclideanRows, RunE8, RunE9, RunC1, RunA1, RunA2, RunA3, RunA4, RunX1, RunR2,
+		RunE1, RunEuclideanRows, RunE8, RunE9, RunC1, RunA1, RunA2, RunA3, RunA4, RunX1, RunR2, RunR3,
 	}
 	var out []*Report
 	for _, r := range runners {

@@ -27,9 +27,12 @@ func RunA4(cfg Config) (*Report, error) {
 	if cfg.Quick {
 		epsilons = []float64{1, 0.5}
 	}
-	// Fixed instance pool so the sweep isolates ε.
+	// Fixed instance pool so the sweep isolates ε. Pool entries are
+	// compiled once and re-solved at every ε — the repeated-solve path:
+	// validation, flattening and the surrogate memos are paid once per
+	// instance, not once per (instance, ε) cell.
 	type inst struct {
-		pts []uncertain.Point[geom.Vec]
+		c   *core.Compiled[geom.Vec]
 		k   int
 		opt float64
 	}
@@ -48,7 +51,11 @@ func RunA4(cfg Config) (*Report, error) {
 		if sol.Cost <= 0 {
 			continue
 		}
-		pool = append(pool, inst{pts, k, sol.Cost})
+		c, err := core.Compile[geom.Vec](cfg.context(), metricspace.Euclidean{}, pts, nil)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, inst{c, k, sol.Cost})
 	}
 	for _, eps := range epsilons {
 		ratios := NewStats()
@@ -56,7 +63,7 @@ func RunA4(cfg Config) (*Report, error) {
 		grids := NewStats()
 		for _, in := range pool {
 			t0 := time.Now()
-			res, err := cfg.solveEuclidean(in.pts, in.k, core.EuclideanOptions{
+			res, err := cfg.solveCompiled(in.c, in.k, core.EuclideanOptions{
 				Rule: core.RuleEP, Solver: core.SolverEps, Eps: eps,
 			})
 			if err != nil {

@@ -87,8 +87,8 @@ func TestQuickExperimentsPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 11 {
-		t.Fatalf("expected 11 reports, got %d", len(reports))
+	if len(reports) != 12 {
+		t.Fatalf("expected 12 reports, got %d", len(reports))
 	}
 	for _, rep := range reports {
 		if !rep.Pass {

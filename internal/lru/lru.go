@@ -1,0 +1,113 @@
+// Package lru provides the recency list behind the serving layer's
+// byte-budget cache eviction: a map-indexed doubly-linked list ordering keys
+// from most- to least-recently used, with O(1) touch, insert, remove and
+// oldest-key lookup.
+//
+// The list stores no byte weights itself — the serving shard accounts bytes
+// per entry (core.Compiled.CacheBytes is the weight function) and uses
+// Oldest/Remove to walk eviction candidates. A List is NOT goroutine-safe;
+// each shard owns one under its mutex, which is the only access pattern the
+// serving layer needs.
+package lru
+
+// node is one list element. Nodes are interior to the package; the zero
+// List is ready to use.
+type node[K comparable] struct {
+	key        K
+	prev, next *node[K]
+}
+
+// List is the recency order over a set of keys: front = most recently used,
+// back = least recently used.
+type List[K comparable] struct {
+	byKey map[K]*node[K]
+	front *node[K]
+	back  *node[K]
+}
+
+// New returns an empty recency list.
+func New[K comparable]() *List[K] {
+	return &List[K]{byKey: make(map[K]*node[K])}
+}
+
+// Len returns the number of tracked keys.
+func (l *List[K]) Len() int { return len(l.byKey) }
+
+// Contains reports whether key is tracked.
+func (l *List[K]) Contains(key K) bool {
+	_, ok := l.byKey[key]
+	return ok
+}
+
+// Touch marks key as most recently used, inserting it if absent.
+func (l *List[K]) Touch(key K) {
+	if n, ok := l.byKey[key]; ok {
+		if l.front == n {
+			return
+		}
+		l.unlink(n)
+		l.pushFront(n)
+		return
+	}
+	n := &node[K]{key: key}
+	l.byKey[key] = n
+	l.pushFront(n)
+}
+
+// Remove stops tracking key, reporting whether it was present.
+func (l *List[K]) Remove(key K) bool {
+	n, ok := l.byKey[key]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.byKey, key)
+	return true
+}
+
+// Oldest returns the least-recently-used key; ok is false when the list is
+// empty. The key stays tracked — eviction removes it explicitly once its
+// caches are dropped.
+func (l *List[K]) Oldest() (key K, ok bool) {
+	if l.back == nil {
+		var zero K
+		return zero, false
+	}
+	return l.back.key, true
+}
+
+// Keys returns the tracked keys from most- to least-recently used — the
+// metrics snapshot order.
+func (l *List[K]) Keys() []K {
+	out := make([]K, 0, len(l.byKey))
+	for n := l.front; n != nil; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}
+
+func (l *List[K]) pushFront(n *node[K]) {
+	n.prev = nil
+	n.next = l.front
+	if l.front != nil {
+		l.front.prev = n
+	}
+	l.front = n
+	if l.back == nil {
+		l.back = n
+	}
+}
+
+func (l *List[K]) unlink(n *node[K]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.front = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.back = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

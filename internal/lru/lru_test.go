@@ -1,0 +1,90 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+)
+
+// requireOrder asserts the most-to-least-recent key order.
+func requireOrder(t *testing.T, l *List[string], want ...string) {
+	t.Helper()
+	got := l.Keys()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestTouchOrdersByRecency(t *testing.T) {
+	l := New[string]()
+	if _, ok := l.Oldest(); ok {
+		t.Fatal("Oldest on empty list reported ok")
+	}
+	l.Touch("a")
+	l.Touch("b")
+	l.Touch("c")
+	requireOrder(t, l, "c", "b", "a")
+	if k, ok := l.Oldest(); !ok || k != "a" {
+		t.Fatalf("Oldest = %q/%v, want a", k, ok)
+	}
+
+	// Re-touching promotes without duplicating.
+	l.Touch("a")
+	requireOrder(t, l, "a", "c", "b")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d after re-touch, want 3", l.Len())
+	}
+	// Touching the current front is a no-op.
+	l.Touch("a")
+	requireOrder(t, l, "a", "c", "b")
+}
+
+func TestRemove(t *testing.T) {
+	l := New[string]()
+	for _, k := range []string{"a", "b", "c"} {
+		l.Touch(k)
+	}
+	if !l.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if l.Remove("b") {
+		t.Fatal("second Remove(b) = true")
+	}
+	requireOrder(t, l, "c", "a")
+
+	// Removing the back and the front keeps the links consistent.
+	if !l.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	requireOrder(t, l, "c")
+	if !l.Remove("c") {
+		t.Fatal("Remove(c) = false")
+	}
+	requireOrder(t, l)
+	if l.Len() != 0 || l.Contains("c") {
+		t.Fatalf("list not empty after removing everything")
+	}
+
+	// An emptied list accepts new keys.
+	l.Touch("x")
+	if k, ok := l.Oldest(); !ok || k != "x" {
+		t.Fatalf("Oldest after refill = %q/%v", k, ok)
+	}
+}
+
+func TestEvictionWalk(t *testing.T) {
+	// The serving shard's eviction loop: pop Oldest, Remove, repeat.
+	l := New[int]()
+	for i := 0; i < 100; i++ {
+		l.Touch(i)
+	}
+	for want := 0; want < 100; want++ {
+		k, ok := l.Oldest()
+		if !ok || k != want {
+			t.Fatalf("Oldest = %d/%v, want %d", k, ok, want)
+		}
+		l.Remove(k)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after full eviction walk", l.Len())
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardCounters are one shard's monotonic request counters; every field is
+// updated atomically on the request path and read by Metrics snapshots.
+type shardCounters struct {
+	admitted  atomic.Uint64 // requests accepted into the queue
+	rejected  atomic.Uint64 // requests bounced with ErrOverloaded
+	completed atomic.Uint64 // executed requests that returned no error
+	failed    atomic.Uint64 // executed requests that returned an error, and queued requests whose caller canceled
+	expired   atomic.Uint64 // requests whose deadline passed while queued
+	hits      atomic.Uint64 // executed requests with no cache build in their window
+	misses    atomic.Uint64 // executed requests whose window saw a cache build
+	evictions atomic.Uint64 // DropCaches calls issued by the byte-budget LRU
+}
+
+// latWindow is the per-shard latency sample size: large enough for stable
+// p99 estimates under load, small enough that a snapshot copy+sort stays
+// trivial.
+const latWindow = 1024
+
+// latencyRing keeps the last latWindow end-to-end request latencies
+// (queue wait + execution) of one shard, snapshot-readable.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latWindow]int64
+	n   uint64 // total recorded; buf index wraps at latWindow
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%latWindow] = int64(d)
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantiles returns the p50/p99 over the recorded window (zero when no
+// request has completed yet).
+func (r *latencyRing) quantiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	n := r.n
+	if n > latWindow {
+		n = latWindow
+	}
+	sample := make([]int64, n)
+	copy(sample, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	return time.Duration(sample[(n-1)*50/100]), time.Duration(sample[(n-1)*99/100])
+}
+
+// ShardMetrics is one shard's snapshot: registry and queue occupancy, cache
+// accounting, request counters and latency quantiles. Counters are
+// monotonic since server start; gauges (QueueDepth, CacheBytes, Instances)
+// are instantaneous.
+type ShardMetrics struct {
+	Shard      int
+	Instances  int
+	QueueDepth int
+	QueueCap   int
+
+	CacheBytes  int64
+	CacheBudget int64
+
+	Admitted  uint64
+	Rejected  uint64
+	Completed uint64
+	Failed    uint64
+	Expired   uint64
+
+	CacheHits   uint64
+	CacheMisses uint64
+	Evictions   uint64
+
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
+// HitRate returns the warm-cache hit fraction of executed requests (0 when
+// none have executed).
+func (m ShardMetrics) HitRate() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// Metrics is a full server snapshot: one entry per shard plus the
+// cross-shard totals.
+type Metrics struct {
+	Shards []ShardMetrics
+}
+
+// Totals sums the per-shard snapshots (Shard = -1; latency quantiles are
+// the max across shards — a conservative "worst shard" view, since exact
+// cross-shard quantiles would need the raw samples).
+func (m Metrics) Totals() ShardMetrics {
+	t := ShardMetrics{Shard: -1}
+	for _, s := range m.Shards {
+		t.Instances += s.Instances
+		t.QueueDepth += s.QueueDepth
+		t.QueueCap += s.QueueCap
+		t.CacheBytes += s.CacheBytes
+		t.CacheBudget += s.CacheBudget
+		t.Admitted += s.Admitted
+		t.Rejected += s.Rejected
+		t.Completed += s.Completed
+		t.Failed += s.Failed
+		t.Expired += s.Expired
+		t.CacheHits += s.CacheHits
+		t.CacheMisses += s.CacheMisses
+		t.Evictions += s.Evictions
+		if s.LatencyP50 > t.LatencyP50 {
+			t.LatencyP50 = s.LatencyP50
+		}
+		if s.LatencyP99 > t.LatencyP99 {
+			t.LatencyP99 = s.LatencyP99
+		}
+	}
+	return t
+}

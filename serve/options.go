@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/par"
+)
+
+// config is the resolved server configuration. Defaults: one shard, one
+// worker per shard, a 64-request queue per shard, no cache budget
+// (eviction off) and no default deadline.
+type config struct {
+	shards     int
+	workers    int
+	queueDepth int
+	budget     int64
+	deadline   time.Duration
+}
+
+func defaultConfig() config {
+	return config{shards: 1, workers: 1, queueDepth: 64}
+}
+
+func (c config) validate() error {
+	if c.shards < 1 {
+		return fmt.Errorf("serve: %d shards", c.shards)
+	}
+	if c.queueDepth < 1 {
+		return fmt.Errorf("serve: queue depth %d", c.queueDepth)
+	}
+	return nil
+}
+
+// Option configures a Server; pass them to New.
+type Option func(*config)
+
+// WithShards sets the number of independent shards the registry is
+// hash-partitioned into (default 1). Each shard owns its own worker pool,
+// request queue, byte budget and metrics, and shards never contend with
+// each other: an overloaded or cache-thrashing shard cannot stall the rest.
+func WithShards(s int) Option {
+	return func(c *config) { c.shards = s }
+}
+
+// WithWorkersPerShard sets each shard's worker-pool size, following the
+// WithParallelism convention: 0 or 1 means one worker, n > 1 means n
+// workers, negative n means one worker per logical CPU. Combine with the
+// solver's own WithParallelism to split cores between concurrent requests
+// and intra-request parallelism.
+func WithWorkersPerShard(n int) Option {
+	return func(c *config) {
+		switch {
+		case n == 0:
+			c.workers = 1
+		case n < 0:
+			c.workers = par.Workers(0)
+		default:
+			c.workers = n
+		}
+	}
+}
+
+// WithQueueDepth bounds each shard's request queue (default 64). A request
+// arriving at a full queue is rejected immediately with ErrOverloaded —
+// admission control fails fast instead of building unbounded backlog.
+func WithQueueDepth(d int) Option {
+	return func(c *config) { c.queueDepth = d }
+}
+
+// WithCacheBudget bounds the bytes of memoized derived state (surrogates +
+// distance-RV swap evaluators, metered by Compiled.CacheBytes — DESIGN.md
+// §4a) each shard may hold across its registered instances; 0 (the
+// default) disables eviction. When a completed request pushes a shard over
+// budget, the least-recently-used instances' caches are dropped
+// (Compiled.DropCaches) until the shard fits: the compiled arena always
+// survives, so an evicted instance recomputes its caches lazily on its
+// next request instead of failing.
+func WithCacheBudget(bytes int64) Option {
+	return func(c *config) { c.budget = bytes }
+}
+
+// WithDefaultDeadline sets the per-request deadline applied when a request
+// carries none of its own (0, the default, applies none). The deadline
+// layers onto the caller's context — it covers queue wait plus execution,
+// and a request that expires while still queued is failed with
+// context.DeadlineExceeded without ever occupying a worker.
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(c *config) { c.deadline = d }
+}

@@ -1,0 +1,501 @@
+// Package serve is the multi-instance serving layer over the compiled
+// uncertain k-center core: a registry of named compiled instances,
+// hash-sharded across independent worker pools, with request admission,
+// per-request deadlines and byte-budget eviction of the memoized caches.
+//
+// Where ukc.Batch is a one-shot pool over a slice of instances, a Server is
+// a long-lived process component: instances are registered once (compiled
+// eagerly, so registration is also validation), then many concurrent
+// callers issue typed requests — Solve, Assign, Ecost, EcostSweep,
+// SolveUnassigned — against them by name. The expensive per-instance state
+// (the flat arena, both surrogate kinds, the 12·m·N-byte distance-RV swap
+// evaluator) is built once and shared by every request, which is what makes
+// serving heavy repeated traffic cheap (DESIGN.md §4a, §7).
+//
+// Each shard enforces:
+//
+//   - admission control — a bounded queue; a request arriving at a full
+//     queue fails fast with ErrOverloaded instead of building backlog;
+//   - deadlines — a per-request (or server-default) deadline layered on the
+//     caller's context, covering queue wait plus execution; a request that
+//     expires while queued is failed with context.DeadlineExceeded without
+//     occupying a worker, and one that expires mid-solve aborts at the
+//     pipeline's next cancellation check;
+//   - byte-budget eviction — Compiled.CacheBytes meters every instance's
+//     memoized caches, and when a completed request pushes the shard over
+//     WithCacheBudget, the least-recently-used instances' caches are
+//     dropped (Compiled.DropCaches) until it fits. Eviction never touches
+//     the compiled arena: an evicted instance recomputes caches lazily on
+//     its next request, bit-identically (§4a — every cache build is
+//     deterministic).
+//
+// All admission, execution and eviction decisions are per shard, so a hot
+// or thrashing shard cannot stall the others. Metrics() returns a
+// snapshot — queue depths, cache bytes, hit/miss, latency quantiles — for
+// tests, benchmarks and operational endpoints (cmd/ukserver exposes it).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	ukc "repro"
+	"repro/internal/lru"
+)
+
+// ErrOverloaded is returned when the target shard's request queue is full:
+// the request was rejected at admission and never queued. Callers decide
+// the retry policy — the server never blocks on a full queue.
+var ErrOverloaded = errors.New("serve: shard queue full")
+
+// ErrClosed is returned for requests and registrations after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrNotFound is the sentinel wrapped by request errors naming an
+// unregistered instance; match with errors.Is.
+var ErrNotFound = errors.New("serve: instance not registered")
+
+// entry is one registered instance: the compiled model (metered and
+// evicted) and an Instance pinned to it (what the solver consumes).
+// bytes is the shard's last accounting of c.CacheBytes(), owned by the
+// shard mutex.
+type entry[P any] struct {
+	name  string
+	inst  ukc.Instance[P]
+	c     *ukc.Compiled[P]
+	bytes int64
+}
+
+// task is one admitted request: the deadline-carrying context, the target
+// entry, the workload closure, and the completion signal. err and stats are
+// written by the executing worker before done is closed.
+type task[P any] struct {
+	ctx   context.Context
+	ent   *entry[P]
+	fn    func(ctx context.Context) error
+	enq   time.Time
+	stats RequestStats
+	err   error
+	done  chan struct{}
+}
+
+// shard is one independent serving partition: its slice of the registry,
+// its recency list and cache accounting, its bounded queue, and its
+// metrics. entries, rec, cacheBytes and the entries' bytes fields are owned
+// by mu; counters are atomic; the queue channel is never closed until
+// server Close.
+type shard[P any] struct {
+	id int
+
+	mu         sync.Mutex
+	entries    map[string]*entry[P]
+	rec        *lru.List[string]
+	cacheBytes int64
+
+	queue chan *task[P]
+	m     shardCounters
+	lat   latencyRing
+}
+
+// Server is the sharded serving layer; build one with New, register
+// instances, then issue requests from any number of goroutines. A Server is
+// goroutine-safe; Close drains in-flight work and rejects everything after.
+type Server[P any] struct {
+	solver *ukc.Solver[P]
+	cfg    config
+	shards []*shard[P]
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a server running every request through solver (nil selects
+// ukc.NewSolver[P]()'s per-space defaults) and starts its shard worker
+// pools. The solver is shared by all workers — ukc.Solver is immutable and
+// goroutine-safe — so its options (rule, surrogate, WithParallelism for
+// intra-request fan-out) apply uniformly.
+func New[P any](solver *ukc.Solver[P], opts ...Option) (*Server[P], error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if solver == nil {
+		solver = ukc.NewSolver[P]()
+	}
+	s := &Server[P]{solver: solver, cfg: cfg, shards: make([]*shard[P], cfg.shards)}
+	for i := range s.shards {
+		sh := &shard[P]{
+			id:      i,
+			entries: make(map[string]*entry[P]),
+			rec:     lru.New[string](),
+			queue:   make(chan *task[P], cfg.queueDepth),
+		}
+		s.shards[i] = sh
+		for w := 0; w < cfg.workers; w++ {
+			s.wg.Add(1)
+			go s.worker(sh)
+		}
+	}
+	return s, nil
+}
+
+// shardIndex hashes an instance name (FNV-1a) onto a shard. The placement
+// is stable for the server's lifetime: registry lookups, admission and
+// eviction for one instance always meet the same shard.
+func shardIndex(name string, n int) int {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return int(h % uint64(n))
+}
+
+func (s *Server[P]) shardFor(name string) *shard[P] {
+	return s.shards[shardIndex(name, len(s.shards))]
+}
+
+// Register compiles inst (one validation + flattening pass — a rejected
+// model never enters the registry) and adds it under name to its shard.
+// Registering an already-registered name fails; Unregister first to
+// replace. If inst was built by a constructor its compiled model is shared,
+// so a caller-side Compile is not repeated.
+func (s *Server[P]) Register(ctx context.Context, name string, inst ukc.Instance[P]) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty instance name")
+	}
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	c, err := inst.Compile(ctx)
+	if err != nil {
+		return fmt.Errorf("serve: compiling %q: %w", name, err)
+	}
+	pinned, err := ukc.InstanceOf(c)
+	if err != nil {
+		return err
+	}
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	if _, dup := sh.entries[name]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("serve: instance %q already registered", name)
+	}
+	ent := &entry[P]{name: name, inst: pinned, c: c, bytes: c.CacheBytes()}
+	sh.entries[name] = ent
+	sh.cacheBytes += ent.bytes
+	sh.rec.Touch(name)
+	sh.mu.Unlock()
+	s.enforceBudget(sh)
+	return nil
+}
+
+// Unregister removes name from the registry, reporting whether it was
+// present. In-flight requests against it complete normally — they hold the
+// entry — and its compiled model is reclaimed when the last holder drops
+// it.
+func (s *Server[P]) Unregister(name string) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent, ok := sh.entries[name]
+	if !ok {
+		return false
+	}
+	delete(sh.entries, name)
+	sh.rec.Remove(name)
+	sh.cacheBytes -= ent.bytes
+	return true
+}
+
+// Get returns the compiled model registered under name. Callers may solve
+// against it directly (bypassing admission) or inspect its CacheBytes; they
+// must not mutate it. The model remains subject to the shard's eviction —
+// caches may be dropped and rebuilt underneath, which is always
+// result-transparent.
+func (s *Server[P]) Get(name string) (*ukc.Compiled[P], bool) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent, ok := sh.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return ent.c, true
+}
+
+// Names returns all registered instance names, sorted.
+func (s *Server[P]) Names() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for name := range sh.entries {
+			out = append(out, name)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// do is the request path every workload shares: resolve the instance,
+// layer the deadline, admit onto the shard queue (fail fast with
+// ErrOverloaded when full), and wait for a worker to run fn. The returned
+// stats are meaningful even on error (Shard is always set; Queue/Exec when
+// the task executed).
+func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Duration, fn func(ctx context.Context, ent *entry[P]) error) (RequestStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sh := s.shardFor(instance)
+	st := RequestStats{Shard: sh.id}
+
+	sh.mu.Lock()
+	ent, ok := sh.entries[instance]
+	sh.mu.Unlock()
+	if !ok {
+		return st, fmt.Errorf("%w: %q", ErrNotFound, instance)
+	}
+
+	if deadline <= 0 {
+		deadline = s.cfg.deadline
+	}
+	cancel := func() {}
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	}
+	defer cancel()
+
+	t := &task[P]{
+		ctx:  ctx,
+		ent:  ent,
+		fn:   func(c context.Context) error { return fn(c, ent) },
+		enq:  time.Now(),
+		done: make(chan struct{}),
+	}
+
+	// Admission under the close guard: after Close flips closed, no new
+	// task can enter a queue, so the worker drain in Close is complete.
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return st, ErrClosed
+	}
+	select {
+	case sh.queue <- t:
+		s.closeMu.RUnlock()
+		sh.m.admitted.Add(1)
+	default:
+		s.closeMu.RUnlock()
+		sh.m.rejected.Add(1)
+		return st, ErrOverloaded
+	}
+
+	select {
+	case <-t.done:
+		return t.stats, t.err
+	case <-ctx.Done():
+		// Deadline or caller cancellation while queued (or mid-execution —
+		// the worker aborts at the pipeline's next ctx check and discards
+		// its partial work; shard state is never touched by a failed run).
+		st.Queue = time.Since(t.enq)
+		return st, ctx.Err()
+	}
+}
+
+// worker is one shard-pool goroutine: it executes queued tasks until Close
+// closes the queue, then drains what remains (their contexts decide whether
+// the drained work still runs or expires).
+func (s *Server[P]) worker(sh *shard[P]) {
+	defer s.wg.Done()
+	for t := range sh.queue {
+		s.execute(sh, t)
+	}
+}
+
+// execute runs one task: expired-in-queue fast path, recency touch, the
+// workload itself, then cache re-accounting and eviction.
+func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
+	defer close(t.done)
+	t.stats.Queue = time.Since(t.enq)
+	if err := t.ctx.Err(); err != nil {
+		// The context died while the task sat in the queue: fail it
+		// without running — the worker moves straight to the next request,
+		// and no shard state has been touched. Only true deadline expiry
+		// counts as Expired; a caller disconnect (context.Canceled — every
+		// dropped HTTP connection in ukserver) is a Failed request, so the
+		// Expired metric stays a faithful deadline-tuning signal.
+		if errors.Is(err, context.DeadlineExceeded) {
+			sh.m.expired.Add(1)
+		} else {
+			sh.m.failed.Add(1)
+		}
+		t.err = err
+		return
+	}
+
+	sh.mu.Lock()
+	if sh.entries[t.ent.name] == t.ent {
+		sh.rec.Touch(t.ent.name)
+	}
+	sh.mu.Unlock()
+
+	buildsBefore := t.ent.c.CacheBuilds()
+	start := time.Now()
+	t.err = t.fn(t.ctx)
+	t.stats.Exec = time.Since(start)
+	// A warm-cache hit is a request during which no memoized cache was
+	// built. The monotonic build counter (never decremented, not even by
+	// eviction) makes this immune to the race a byte-delta comparison has
+	// with a concurrent eviction zeroing the bytes mid-request.
+	t.stats.CacheHit = t.ent.c.CacheBuilds() == buildsBefore
+
+	if t.err != nil {
+		sh.m.failed.Add(1)
+	} else {
+		sh.m.completed.Add(1)
+	}
+	if t.stats.CacheHit {
+		sh.m.hits.Add(1)
+	} else {
+		sh.m.misses.Add(1)
+	}
+	sh.lat.record(t.stats.Queue + t.stats.Exec)
+
+	after := t.ent.c.CacheBytes()
+	sh.mu.Lock()
+	if cur, ok := sh.entries[t.ent.name]; ok && cur == t.ent {
+		sh.cacheBytes += after - t.ent.bytes
+		t.ent.bytes = after
+		// The `after` snapshot can be stale against a concurrent eviction
+		// (taken outside the lock), momentarily overstating the shard
+		// total. Re-inserting the entry whenever it carries accounted
+		// bytes upholds the invariant that repairs this: accounted > 0 ⇒
+		// present in the recency list ⇒ a later eviction pass subtracts
+		// exactly what was accounted and re-reads the truth.
+		if after > 0 {
+			sh.rec.Touch(t.ent.name)
+		}
+	}
+	sh.mu.Unlock()
+	s.enforceBudget(sh)
+}
+
+// enforceBudget brings the shard back under its cache budget: while over,
+// the least-recently-used entries are selected as victims under sh.mu
+// (optimistically accounted as dropped), and their DropCaches calls run
+// AFTER the mutex is released — a drop can block on the memo mutex of an
+// in-flight cache build (potentially a long evaluator construction), and
+// that wait must stall only this worker, never the shard's admission,
+// registry or metrics paths. Dropping is result-transparent (deterministic
+// lazy rebuild) and never invalidates in-flight consumers, which hold
+// their own references to the immutable caches. An evicted instance
+// leaves the recency list until its next request re-enters it.
+func (s *Server[P]) enforceBudget(sh *shard[P]) {
+	if s.cfg.budget <= 0 {
+		return
+	}
+	sh.mu.Lock()
+	var victims []*entry[P]
+	for sh.cacheBytes > s.cfg.budget {
+		name, ok := sh.rec.Oldest()
+		if !ok {
+			break
+		}
+		sh.rec.Remove(name)
+		ent := sh.entries[name]
+		if ent == nil || ent.bytes == 0 {
+			// Nothing accounted to free (an idle entry, or one already
+			// being evicted): popping it suffices — a no-op DropCaches
+			// would only inflate the evictions counter. It re-enters the
+			// recency list on its next request.
+			continue
+		}
+		sh.cacheBytes -= ent.bytes
+		ent.bytes = 0
+		victims = append(victims, ent)
+	}
+	sh.mu.Unlock()
+	for _, ent := range victims {
+		ent.c.DropCaches()
+		sh.m.evictions.Add(1)
+		// Re-sync rather than trust the optimistic zero: a concurrent
+		// request on another worker may already be rebuilding what was
+		// just dropped. A rebuilt entry re-enters the recency list here —
+		// its bytes are back in the shard total, so it must stay an
+		// eviction candidate even if no later request ever touches it
+		// (execute's accounting maintains the same accounted-⇒-listed
+		// invariant for its own stale-snapshot window).
+		if after := ent.c.CacheBytes(); after != 0 {
+			sh.mu.Lock()
+			if cur, ok := sh.entries[ent.name]; ok && cur == ent {
+				sh.cacheBytes += after - ent.bytes
+				ent.bytes = after
+				sh.rec.Touch(ent.name)
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Metrics returns a point-in-time snapshot of every shard: registry and
+// queue occupancy, cache accounting, the request counters, and latency
+// quantiles over the last latWindow requests.
+func (s *Server[P]) Metrics() Metrics {
+	out := Metrics{Shards: make([]ShardMetrics, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		instances := len(sh.entries)
+		bytes := sh.cacheBytes
+		sh.mu.Unlock()
+		p50, p99 := sh.lat.quantiles()
+		out.Shards[i] = ShardMetrics{
+			Shard:       sh.id,
+			Instances:   instances,
+			QueueDepth:  len(sh.queue),
+			QueueCap:    cap(sh.queue),
+			CacheBytes:  bytes,
+			CacheBudget: s.cfg.budget,
+			Admitted:    sh.m.admitted.Load(),
+			Rejected:    sh.m.rejected.Load(),
+			Completed:   sh.m.completed.Load(),
+			Failed:      sh.m.failed.Load(),
+			Expired:     sh.m.expired.Load(),
+			CacheHits:   sh.m.hits.Load(),
+			CacheMisses: sh.m.misses.Load(),
+			Evictions:   sh.m.evictions.Load(),
+			LatencyP50:  p50,
+			LatencyP99:  p99,
+		}
+	}
+	return out
+}
+
+// Close stops admission (every later request and registration fails with
+// ErrClosed), lets the worker pools drain the already-admitted queue, and
+// waits for in-flight work to finish. Idempotent.
+func (s *Server[P]) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
