@@ -7,19 +7,24 @@ GO ?= go
 
 # Perf-trajectory output of bench-json. Bump per PR so the repository
 # accumulates a benchmark history (BENCH_PR3.json, BENCH_PR4.json, ...).
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
 
 # Serving-layer trajectory output of bench-serve (the PR-5 tentpole):
 # request throughput with warm-cache hit rate, serve-vs-direct overhead,
 # and the warm unassigned workload.
 SERVE_BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all vet build test test-race bench bench-parallel bench-json bench-serve examples check ci
+.PHONY: all vet fmt-check build test test-race bench bench-parallel bench-json bench-serve examples check ci
 
 all: check
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -41,11 +46,12 @@ bench-parallel:
 # bench-json records the perf trajectory as a test2json stream into
 # $(BENCH_OUT): the parallel E-cost and unassigned-scan benches, the
 # incremental-vs-scratch swap evaluator pair (the PR-3 tentpole's ≥5×
-# claim), and the compiled-vs-fresh repeated-solve pair (the PR-4
-# tentpole's amortization claim).
+# claim), the compiled-vs-fresh repeated-solve pair (the PR-4 tentpole's
+# amortization claim), and the instrumentation-off-vs-on overhead pair
+# (the PR-6 tentpole's zero-cost-default claim).
 bench-json:
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$|BenchmarkRepeatedSolve$$' \
+		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$|BenchmarkRepeatedSolve$$|BenchmarkObsOverhead' \
 		. > $(BENCH_OUT)
 
 # bench-serve records the serving-layer trajectory as a test2json stream
@@ -65,6 +71,6 @@ examples:
 	$(GO) run ./examples/serving
 	$(GO) run ./cmd/ukserver -selfcheck
 
-check: vet build test test-race
+check: vet fmt-check build test test-race
 
 ci: check

@@ -14,6 +14,18 @@
 //	curl -X PUT  localhost:8080/v1/instances/fleet --data-binary @fleet.json
 //	curl -X POST localhost:8080/v1/solve -d '{"instance":"fleet","k":3}'
 //	curl        localhost:8080/v1/metrics
+//	curl        localhost:8080/metrics
+//
+// Observability: every request is logged as one structured (log/slog) line
+// carrying a request ID — X-Request-ID is honored when the caller sends
+// one, generated and echoed otherwise. GET /metrics serves the full
+// serving-layer state (per-shard request counters with the
+// completed/failed/canceled/expired split, queue-wait vs execution latency
+// quantiles, per-instance cache gauges and cache-build histograms, all
+// labeled by instance kind) in the Prometheus text exposition format,
+// hand-rolled with no client dependency; GET /v1/metrics is the same
+// snapshot as JSON. -pprof mounts net/http/pprof under /debug/pprof/, and
+// -trace logs every solver span (see ukc.WithTracer) at debug level.
 //
 // Status mapping: 404 unknown instance, 409 duplicate registration, 422
 // invalid instance data, 429 shard queue full (ErrOverloaded — back off and
@@ -21,7 +33,9 @@
 //
 // The -selfcheck flag runs the CI smoke path: boot the full server on a
 // loopback port, drive every endpoint through real HTTP for both instance
-// kinds, print the responses, and exit non-zero on any failure.
+// kinds — including scraping /metrics and asserting the exposition parses
+// and carries the core series — print the responses, and exit non-zero on
+// any failure.
 package main
 
 import (
@@ -32,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +58,7 @@ import (
 	"repro/internal/dataio"
 	"repro/internal/gen"
 	"repro/internal/graphmetric"
+	"repro/obs"
 	"repro/serve"
 
 	"math/rand"
@@ -64,9 +80,22 @@ func run() error {
 		budget    = flag.Int64("cache-budget", 0, "cache byte budget per shard (0 = unlimited)")
 		deadline  = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
 		parallel  = flag.Int("parallel", 1, "solver worker count inside one request (<0 = all CPUs)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		trace     = flag.Bool("trace", false, "log every solver span (debug level) via the ukc.WithTracer hook")
 		selfcheck = flag.Bool("selfcheck", false, "boot on a loopback port, exercise every endpoint, exit")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *trace {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var tracer obs.Tracer
+	if *trace {
+		tracer = slogTracer{logger: logger}
+	}
 
 	opts := []serve.Option{
 		serve.WithShards(*shards),
@@ -75,17 +104,17 @@ func run() error {
 		serve.WithCacheBudget(*budget),
 		serve.WithDefaultDeadline(*deadline),
 	}
-	gw, err := newGateway(*parallel, opts...)
+	gw, err := newGateway(*parallel, tracer, opts...)
 	if err != nil {
 		return err
 	}
 	defer gw.close()
 
 	if *selfcheck {
-		return gw.selfcheck()
+		return gw.selfcheck(logger)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: gw.mux()}
+	srv := &http.Server{Addr: *addr, Handler: gw.handler(*pprofOn, logger)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "ukserver: listening on %s (%d shards × %d workers per kind)\n", *addr, *shards, *workers)
@@ -116,12 +145,16 @@ type gateway struct {
 	fin   *serve.Server[int]
 }
 
-func newGateway(parallel int, opts ...serve.Option) (*gateway, error) {
-	eu, err := serve.New(ukc.NewSolver[ukc.Vec](ukc.WithParallelism(parallel)), opts...)
+func newGateway(parallel int, tracer obs.Tracer, opts ...serve.Option) (*gateway, error) {
+	solverOpts := []ukc.Option{ukc.WithParallelism(parallel)}
+	if tracer != nil {
+		solverOpts = append(solverOpts, ukc.WithTracer(tracer))
+	}
+	eu, err := serve.New(ukc.NewSolver[ukc.Vec](solverOpts...), opts...)
 	if err != nil {
 		return nil, err
 	}
-	fin, err := serve.New(ukc.NewSolver[int](ukc.WithParallelism(parallel)), opts...)
+	fin, err := serve.New(ukc.NewSolver[int](solverOpts...), opts...)
 	if err != nil {
 		eu.Close()
 		return nil, err
@@ -187,7 +220,18 @@ func (g *gateway) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sweep", g.workload(bind(g.eu, doSweep[ukc.Vec]), bind(g.fin, doSweep[int])))
 	mux.HandleFunc("POST /v1/unassigned", g.workload(bind(g.eu, doUnassigned[ukc.Vec]), bind(g.fin, doUnassigned[int])))
 	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /metrics", g.handlePromMetrics)
 	return mux
+}
+
+// handler is the complete HTTP surface: the API mux, optionally the pprof
+// handlers, all wrapped in the structured request log.
+func (g *gateway) handler(pprofOn bool, logger *slog.Logger) http.Handler {
+	mux := g.mux()
+	if pprofOn {
+		registerPprof(mux)
+	}
+	return requestLog(logger, mux)
 }
 
 func (g *gateway) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -284,6 +328,22 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handlePromMetrics serves both kind servers' Collect walks as one
+// Prometheus text exposition document, each sample labeled with its kind.
+func (g *gateway) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
+	pc := newPromCollector()
+	g.eu.Collect(pc.add(dataio.KindEuclidean))
+	g.fin.Collect(pc.add(dataio.KindFinite))
+	var buf bytes.Buffer
+	if err := pc.write(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
 // shardOut is the wire shape of one shard's metrics snapshot.
 type shardOut struct {
 	Shard       int     `json:"shard"`
@@ -296,6 +356,7 @@ type shardOut struct {
 	Rejected    uint64  `json:"rejected"`
 	Completed   uint64  `json:"completed"`
 	Failed      uint64  `json:"failed"`
+	Canceled    uint64  `json:"canceled"`
 	Expired     uint64  `json:"expired"`
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
@@ -303,7 +364,13 @@ type shardOut struct {
 	HitRate     float64 `json:"hit_rate"`
 	P50MS       float64 `json:"latency_p50_ms"`
 	P99MS       float64 `json:"latency_p99_ms"`
+	QueueP50MS  float64 `json:"queue_p50_ms"`
+	QueueP99MS  float64 `json:"queue_p99_ms"`
+	ExecP50MS   float64 `json:"exec_p50_ms"`
+	ExecP99MS   float64 `json:"exec_p99_ms"`
 }
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func metricsOut(m serve.Metrics) []shardOut {
 	out := make([]shardOut, 0, len(m.Shards)+1)
@@ -319,13 +386,18 @@ func metricsOut(m serve.Metrics) []shardOut {
 			Rejected:    s.Rejected,
 			Completed:   s.Completed,
 			Failed:      s.Failed,
+			Canceled:    s.Canceled,
 			Expired:     s.Expired,
 			CacheHits:   s.CacheHits,
 			CacheMisses: s.CacheMisses,
 			Evictions:   s.Evictions,
 			HitRate:     s.HitRate(),
-			P50MS:       float64(s.LatencyP50.Microseconds()) / 1000,
-			P99MS:       float64(s.LatencyP99.Microseconds()) / 1000,
+			P50MS:       ms(s.LatencyP50),
+			P99MS:       ms(s.LatencyP99),
+			QueueP50MS:  ms(s.QueueP50),
+			QueueP99MS:  ms(s.QueueP99),
+			ExecP50MS:   ms(s.ExecP50),
+			ExecP99MS:   ms(s.ExecP99),
 		})
 	}
 	return out
@@ -469,13 +541,15 @@ func httpError(w http.ResponseWriter, status int, err error) {
 }
 
 // selfcheck boots the gateway on a loopback port and drives every endpoint
-// through real HTTP for both instance kinds — the CI smoke path.
-func (g *gateway) selfcheck() error {
+// through real HTTP for both instance kinds — the CI smoke path. pprof is
+// mounted so its surface is smoke-tested too, and the /metrics scrape is
+// parsed and asserted, not just status-checked.
+func (g *gateway) selfcheck(logger *slog.Logger) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: g.mux()}
+	srv := &http.Server{Handler: g.handler(true, logger)}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -528,6 +602,7 @@ func (g *gateway) selfcheck() error {
 		{"sweep-finite", http.MethodPost, "/v1/sweep", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
 		{"solve-unknown", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"ghost","k":2}`), http.StatusNotFound},
 		{"metrics", http.MethodGet, "/v1/metrics", nil, http.StatusOK},
+		{"pprof-cmdline", http.MethodGet, "/debug/pprof/cmdline", nil, http.StatusOK},
 		{"unregister", http.MethodDelete, "/v1/instances/smoke-eu", nil, http.StatusOK},
 		{"solve-after-unregister", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"smoke-eu","k":3}`), http.StatusNotFound},
 	}
@@ -546,9 +621,74 @@ func (g *gateway) selfcheck() error {
 		if resp.StatusCode != s.wantStatus {
 			return fmt.Errorf("%s: status %d, want %d: %s", s.name, resp.StatusCode, s.wantStatus, out)
 		}
+		if resp.Header.Get("X-Request-ID") == "" {
+			return fmt.Errorf("%s: no X-Request-ID on response", s.name)
+		}
 		fmt.Printf("selfcheck %-24s %d %s\n", s.name, resp.StatusCode, truncate(out, 140))
 	}
+	if err := scrapeProm(client, base); err != nil {
+		return fmt.Errorf("prom-metrics: %w", err)
+	}
+	fmt.Printf("selfcheck %-24s %d %s\n", "prom-metrics", http.StatusOK, "exposition parsed, core series present")
 	fmt.Println("selfcheck: ok")
+	return nil
+}
+
+// scrapeProm fetches /metrics and asserts the exposition is parseable and
+// carries the core series with sane values: per-shard outcome counters
+// reflecting the solves just driven, the queue/exec/total latency split,
+// capacity gauges, and the per-instance cache histogram for the
+// still-registered finite instance.
+func scrapeProm(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !bytes.Contains([]byte(ct), []byte("text/plain")) {
+		return fmt.Errorf("content type %q", ct)
+	}
+	series, err := parsePromText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("parsing exposition: %w", err)
+	}
+
+	sum := func(name string, match map[string]string) (total float64, n int) {
+		for _, s := range series[name] {
+			ok := true
+			for k, v := range match {
+				if s.labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				total += s.value
+				n++
+			}
+		}
+		return total, n
+	}
+
+	for _, kind := range []string{dataio.KindEuclidean, dataio.KindFinite} {
+		if completed, _ := sum("ukc_serve_requests_total", map[string]string{"kind": kind, "outcome": "completed"}); completed < 1 {
+			return fmt.Errorf("kind %s: completed requests = %v, want >= 1", kind, completed)
+		}
+	}
+	if caps, _ := sum("ukc_serve_queue_capacity", nil); caps <= 0 {
+		return fmt.Errorf("queue capacity total = %v, want > 0", caps)
+	}
+	for _, stage := range []string{"queue", "exec", "total"} {
+		if _, n := sum("ukc_serve_latency_seconds", map[string]string{"stage": stage, "quantile": "0.99"}); n == 0 {
+			return fmt.Errorf("latency stage %q missing", stage)
+		}
+	}
+	if builds, _ := sum("ukc_serve_instance_cache_build_seconds_count", map[string]string{"instance": "smoke-fin"}); builds < 1 {
+		return fmt.Errorf("smoke-fin cache-build histogram count = %v, want >= 1 (cold solve must record a build)", builds)
+	}
 	return nil
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -15,18 +17,18 @@ import (
 // TestSelfcheck runs the full CI smoke path in-process: every endpoint,
 // both instance kinds, over real HTTP on a loopback port.
 func TestSelfcheck(t *testing.T) {
-	gw, err := newGateway(1)
+	gw, err := newGateway(1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw.close()
-	if err := gw.selfcheck(); err != nil {
+	if err := gw.selfcheck(slog.New(slog.NewTextHandler(io.Discard, nil))); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestHTTPStatusMapping(t *testing.T) {
-	gw, err := newGateway(1)
+	gw, err := newGateway(1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,252 @@
+package main
+
+// prom.go renders the serving layer's Collect walk into the Prometheus
+// text exposition format (text/plain; version 0.0.4) with no client
+// library: the vocabulary is small and fully known (see serve.Collect),
+// so a hand-rolled writer — family grouping, TYPE inference from the name
+// suffix, label escaping, deterministic ordering — is ~100 lines and keeps
+// the binary dependency-free. parsePromText is the inverse used by
+// -selfcheck and the golden test to assert the exposition stays valid.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSample is one exposition line: name{labels} value.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promCollector accumulates samples across Collect walks (one per instance
+// kind, each stamped with a kind label) for a single rendering pass.
+type promCollector struct {
+	samples []promSample
+	hist    map[string]bool // family name -> has histogram-suffixed series
+}
+
+func newPromCollector() *promCollector {
+	return &promCollector{hist: make(map[string]bool)}
+}
+
+// add returns a serve.Collect callback stamping every sample with the kind
+// label. The label map is mutated in place — Collect guarantees a fresh map
+// per sample.
+func (p *promCollector) add(kind string) func(name string, labels map[string]string, value float64) {
+	return func(name string, labels map[string]string, value float64) {
+		if kind != "" {
+			labels["kind"] = kind
+		}
+		if fam := promFamily(name); fam != name {
+			p.hist[fam] = true
+		}
+		p.samples = append(p.samples, promSample{name, labels, value})
+	}
+}
+
+// promFamily strips the histogram series suffixes; for scalar series the
+// family is the name itself.
+func promFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// promType infers the family's TYPE from its name: histogram when any
+// suffixed series was seen, counter on the _total convention, else gauge.
+func (p *promCollector) promType(family string) string {
+	switch {
+	case p.hist[family]:
+		return "histogram"
+	case strings.HasSuffix(family, "_total"):
+		return "counter"
+	default:
+		return "gauge"
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// renderLabels produces the sorted {k="v",...} block ("" when empty).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Manual quoting, not %q: Go quoting escapes non-ASCII, while the
+		// exposition format wants raw UTF-8 with only \, " and newline
+		// escaped.
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// write renders the accumulated samples: families sorted by name, one TYPE
+// header each, samples within a family sorted by their rendered label block
+// — deterministic output, which is what makes a golden test possible.
+func (p *promCollector) write(w io.Writer) error {
+	byFamily := map[string][]promSample{}
+	for _, s := range p.samples {
+		fam := promFamily(s.name)
+		byFamily[fam] = append(byFamily[fam], s)
+	}
+	families := make([]string, 0, len(byFamily))
+	for fam := range byFamily {
+		families = append(families, fam)
+	}
+	sort.Strings(families)
+	for _, fam := range families {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, p.promType(fam)); err != nil {
+			return err
+		}
+		lines := make([]string, 0, len(byFamily[fam]))
+		for _, s := range byFamily[fam] {
+			lines = append(lines, fmt.Sprintf("%s%s %s", s.name, renderLabels(s.labels), strconv.FormatFloat(s.value, 'g', -1, 64)))
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parsePromText parses an exposition document back into samples keyed by
+// series name. It accepts exactly the subset write produces (plus blank
+// lines and arbitrary comments) and errors on anything malformed — the
+// selfcheck uses it to prove the endpoint serves parseable output.
+func parsePromText(r io.Reader) (map[string][]promSample, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]promSample{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" && len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out[s.name] = append(out[s.name], s)
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (promSample, error) {
+	var s promSample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parsePromLabels(rest[i+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("want 'name value', got %q", line)
+		}
+		s.name, rest = fields[0], fields[1]
+	}
+	if s.name == "" || !isPromName(s.name) {
+		return s, fmt.Errorf("invalid metric name in %q", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("invalid value in %q: %w", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+func parsePromLabels(block string) (map[string]string, error) {
+	labels := map[string]string{}
+	for block != "" {
+		eq := strings.IndexByte(block, '=')
+		if eq < 0 || len(block) < eq+2 || block[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label pair near %q", block)
+		}
+		key := strings.TrimSpace(block[:eq])
+		rest := block[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels[key] = val.String()
+		block = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		block = strings.TrimSpace(block)
+	}
+	return labels, nil
+}
+
+func isPromName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(name) > 0
+}

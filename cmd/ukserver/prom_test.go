@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromWriteGolden pins the exposition byte-for-byte on a fixed sample
+// set: family grouping, TYPE inference (counter/_total, histogram from
+// _bucket/_sum/_count, gauge otherwise), sorted deterministic ordering and
+// label escaping.
+func TestPromWriteGolden(t *testing.T) {
+	pc := newPromCollector()
+	add := pc.add("euclidean")
+	add("ukc_serve_requests_total", map[string]string{"shard": "0", "outcome": "completed"}, 12)
+	add("ukc_serve_requests_total", map[string]string{"shard": "0", "outcome": "failed"}, 1)
+	add("ukc_serve_queue_depth", map[string]string{"shard": "0"}, 3)
+	add("ukc_serve_latency_seconds", map[string]string{"shard": "0", "stage": "exec", "quantile": "0.99"}, 0.25)
+	add("ukc_serve_instance_cache_build_seconds_bucket", map[string]string{"shard": "0", "instance": `we"ird\name`, "le": "0.005"}, 2)
+	add("ukc_serve_instance_cache_build_seconds_bucket", map[string]string{"shard": "0", "instance": `we"ird\name`, "le": "+Inf"}, 3)
+	add("ukc_serve_instance_cache_build_seconds_sum", map[string]string{"shard": "0", "instance": `we"ird\name`}, 0.0075)
+	add("ukc_serve_instance_cache_build_seconds_count", map[string]string{"shard": "0", "instance": `we"ird\name`}, 3)
+
+	var b strings.Builder
+	if err := pc.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE ukc_serve_instance_cache_build_seconds histogram
+ukc_serve_instance_cache_build_seconds_bucket{instance="we\"ird\\name",kind="euclidean",le="+Inf",shard="0"} 3
+ukc_serve_instance_cache_build_seconds_bucket{instance="we\"ird\\name",kind="euclidean",le="0.005",shard="0"} 2
+ukc_serve_instance_cache_build_seconds_count{instance="we\"ird\\name",kind="euclidean",shard="0"} 3
+ukc_serve_instance_cache_build_seconds_sum{instance="we\"ird\\name",kind="euclidean",shard="0"} 0.0075
+# TYPE ukc_serve_latency_seconds gauge
+ukc_serve_latency_seconds{kind="euclidean",quantile="0.99",shard="0",stage="exec"} 0.25
+# TYPE ukc_serve_queue_depth gauge
+ukc_serve_queue_depth{kind="euclidean",shard="0"} 3
+# TYPE ukc_serve_requests_total counter
+ukc_serve_requests_total{kind="euclidean",outcome="completed",shard="0"} 12
+ukc_serve_requests_total{kind="euclidean",outcome="failed",shard="0"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromRoundTrip checks parsePromText inverts write: every sample
+// written comes back with its name, labels (escapes included) and value.
+func TestPromRoundTrip(t *testing.T) {
+	pc := newPromCollector()
+	add := pc.add("finite")
+	add("ukc_serve_requests_total", map[string]string{"shard": "1", "outcome": "canceled"}, 7)
+	add("ukc_serve_cache_bytes", map[string]string{"shard": "1"}, 98304)
+	add("ukc_serve_instance_cache_bytes", map[string]string{"shard": "1", "instance": `a\b"c`}, 4096)
+
+	var b strings.Builder
+	if err := pc.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := parsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parsing own output: %v", err)
+	}
+	got := series["ukc_serve_instance_cache_bytes"]
+	if len(got) != 1 || got[0].labels["instance"] != `a\b"c` || got[0].value != 4096 {
+		t.Errorf("instance sample round-trip = %+v", got)
+	}
+	if s := series["ukc_serve_requests_total"]; len(s) != 1 || s[0].labels["outcome"] != "canceled" || s[0].value != 7 {
+		t.Errorf("counter round-trip = %+v", s)
+	}
+}
+
+// TestPromParseRejectsMalformed pins the parser's error paths — the
+// selfcheck relies on a failed parse meaning a malformed exposition.
+func TestPromParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`ukc_serve_queue_depth{shard="0"`,         // unterminated label block
+		`ukc_serve_queue_depth{shard="0} 1`,       // unterminated value quote
+		`ukc_serve_queue_depth{shard=0} 1`,        // unquoted label value
+		`ukc_serve_queue_depth{shard="0"} notnum`, // non-numeric value
+		`1metric 5`,                    // invalid name
+		"# TYPE ukc_serve_queue_depth", // malformed TYPE comment
+		`ukc_serve_queue_depth`,        // no value
+	} {
+		if _, err := parsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("parse accepted malformed input %q", bad)
+		}
+	}
+}

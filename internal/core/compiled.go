@@ -13,6 +13,7 @@ import (
 	"repro/internal/metricspace"
 	"repro/internal/par"
 	"repro/internal/uncertain"
+	"repro/obs"
 )
 
 // memo is a mutex-guarded lazy cell: the first successful build is cached
@@ -113,10 +114,10 @@ type Compiled[P any] struct {
 	dim         int // common coordinate dimension (Euclidean only, else 0)
 	isEuclidean bool
 
-	surrEP     memo[[]P]                // expected points P̄
-	surrOCFree memo[[]P]                // continuous 1-centers P̃ (Euclidean, no candidates)
-	surrOCCand memo[[]P]                // 1-centers P̃ over CandidatesOrLocations()
-	evCache    memo[*SwapEvaluator[P]]  // n×m distance-RV table over CandidatesOrLocations()
+	surrEP     memo[[]P]               // expected points P̄
+	surrOCFree memo[[]P]               // continuous 1-centers P̃ (Euclidean, no candidates)
+	surrOCCand memo[[]P]               // 1-centers P̃ over CandidatesOrLocations()
+	evCache    memo[*SwapEvaluator[P]] // n×m distance-RV table over CandidatesOrLocations()
 
 	builds atomic.Uint64 // completed cache builds (see CacheBuilds)
 }
@@ -149,6 +150,8 @@ func Compile[P any](ctx context.Context, space metricspace.Space[P], pts []uncer
 	if space == nil {
 		return nil, fmt.Errorf("core: nil space")
 	}
+	tracer := obs.FromContext(ctx)
+	vsp := obs.StartSpan(tracer, "compile.validate")
 	if err := uncertain.ValidateSet(pts); err != nil {
 		return nil, err
 	}
@@ -165,10 +168,13 @@ func Compile[P any](ctx context.Context, space metricspace.Space[P], pts []uncer
 		}
 		dim = d
 	}
+	vsp.Int("points", len(pts))
+	vsp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	fsp := obs.StartSpan(tracer, "compile.flatten")
 	n := 0
 	for _, p := range pts {
 		for _, pr := range p.Probs {
@@ -216,6 +222,10 @@ func Compile[P any](ctx context.Context, space metricspace.Space[P], pts []uncer
 	if len(c.locs) < uncertain.TotalLocations(pts) {
 		c.allLocs = uncertain.AllLocations(pts)
 	}
+	fsp.Int("atoms", len(c.probs))
+	fsp.Int("pruned", uncertain.TotalLocations(pts)-len(c.probs))
+	fsp.Int("max_z", c.maxZ)
+	fsp.End()
 	return c, nil
 }
 
@@ -314,6 +324,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 			return nil, fmt.Errorf("core: the expected-point surrogate requires a Euclidean space")
 		}
 		return c.surrEP.get(&c.builds, func() ([]P, error) {
+			sp := c.buildSpan(ctx, "surrogate.build.ep")
 			eu := c.euclideanPts()
 			out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
 				return uncertain.ExpectedPointUnchecked(eu[i])
@@ -321,6 +332,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 			if err != nil {
 				return nil, err
 			}
+			sp.End()
 			return vecsAsP[P](out), nil
 		})
 	case SurrogateOneCenter:
@@ -329,6 +341,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 				return nil, fmt.Errorf("core: the discrete 1-center surrogate needs a candidate set")
 			}
 			return c.surrOCFree.get(&c.builds, func() ([]P, error) {
+				sp := c.buildSpan(ctx, "surrogate.build.oc_free")
 				eu := c.euclideanPts()
 				out, err := par.Map(ctx, make([]geom.Vec, len(eu)), workers, func(i int) geom.Vec {
 					return uncertain.OneCenterEuclideanUnchecked(eu[i])
@@ -336,6 +349,7 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 				if err != nil {
 					return nil, err
 				}
+				sp.End()
 				return vecsAsP[P](out), nil
 			})
 		}
@@ -346,7 +360,15 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 			})
 		}
 		if sameSlice(candidates, c.CandidatesOrLocations()) {
-			return c.surrOCCand.get(&c.builds, build)
+			return c.surrOCCand.get(&c.builds, func() ([]P, error) {
+				sp := c.buildSpan(ctx, "surrogate.build.oc_cand")
+				out, err := build()
+				if err != nil {
+					return nil, err
+				}
+				sp.End()
+				return out, nil
+			})
 		}
 		return build()
 	default:
@@ -364,8 +386,28 @@ func (c *Compiled[P]) Surrogates(ctx context.Context, s Surrogate, candidates []
 // WithSwapCache(false) escape hatch to avoid building it.
 func (c *Compiled[P]) Evaluator(ctx context.Context, workers int) (*SwapEvaluator[P], error) {
 	return c.evCache.get(&c.builds, func() (*SwapEvaluator[P], error) {
-		return newSwapEvaluatorCompiled(ctx, c, c.CandidatesOrLocations(), workers)
+		sp := obs.StartSpan(obs.FromContext(ctx), "evaluator.build")
+		ev, err := newSwapEvaluatorCompiled(ctx, c, c.CandidatesOrLocations(), workers)
+		if err != nil {
+			return nil, err
+		}
+		sp.Int("candidates", len(ev.cols))
+		sp.Int("atoms", ev.NumAtoms())
+		sp.Int64("bytes", 12*int64(len(ev.cols))*int64(ev.NumAtoms()))
+		sp.End()
+		return ev, nil
 	})
+}
+
+// buildSpan starts the span a memoized surrogate build reports through:
+// the shared name prefix ("surrogate.build.*") is what serving-layer
+// tracers key their cache-build histograms on, and the bytes attribute is
+// the build's CacheBytes contribution (§4a formula).
+func (c *Compiled[P]) buildSpan(ctx context.Context, name string) obs.Span {
+	sp := obs.StartSpan(obs.FromContext(ctx), name)
+	sp.Int("points", len(c.pts))
+	sp.Int64("bytes", int64(len(c.pts))*c.surrogateElemBytes())
+	return sp
 }
 
 // surrogateElemBytes is the per-element cost of one memoized surrogate

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metricspace"
 	"repro/internal/par"
 	"repro/internal/uncertain"
+	"repro/obs"
 )
 
 // Options configures the unified Solve pipeline. It is the superset of the
@@ -132,11 +133,18 @@ func SolveCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts Optio
 	isEuclidean := c.IsEuclidean()
 	candidates := c.PipelineCandidates()
 	workers := opts.Workers()
+	tracer := obs.FromContext(ctx)
 
+	// The surrogate span brackets the memoized lookup, not just a build: a
+	// warm instance shows a near-zero duration here, a cold or evicted one
+	// shows the build (which also reports its own surrogate.build.* span).
+	ssp := obs.StartSpan(tracer, "solve.surrogates")
 	surrogates, err := c.Surrogates(ctx, opts.Surrogate, candidates, workers)
 	if err != nil {
 		return Result[P]{}, err
 	}
+	ssp.Int("points", len(surrogates))
+	ssp.End()
 
 	// Optional large-n path: run the certain solver on a coreset of the
 	// surrogates instead of all of them.
@@ -152,6 +160,7 @@ func SolveCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts Optio
 		return Result[P]{}, err
 	}
 
+	csp := obs.StartSpan(tracer, "solve.certain")
 	var centers []P
 	var radius, effEps float64
 	switch opts.Solver {
@@ -211,6 +220,9 @@ func SolveCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts Optio
 	default:
 		return Result[P]{}, fmt.Errorf("core: unknown solver %v", opts.Solver)
 	}
+	csp.Int("k", k)
+	csp.Int("solve_set", len(solveSet))
+	csp.End()
 	if err := ctx.Err(); err != nil {
 		return Result[P]{}, err
 	}
@@ -219,10 +231,13 @@ func SolveCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts Optio
 		// Report the radius over ALL surrogates, not just the coreset.
 		radius = kcenter.Radius(space, surrogates, centers)
 	}
+	asp := obs.StartSpan(tracer, "solve.assign")
 	assign, err := AssignCompiled(ctx, c, centers, opts.Rule, candidates, workers)
 	if err != nil {
 		return Result[P]{}, err
 	}
+	asp.End()
+	esp := obs.StartSpan(tracer, "solve.ecost")
 	ecost, err := c.EcostAssigned(ctx, centers, assign, workers)
 	if err != nil {
 		return Result[P]{}, err
@@ -231,6 +246,9 @@ func SolveCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts Optio
 	if err != nil {
 		return Result[P]{}, err
 	}
+	esp.Micros("ecost", ecost)
+	esp.Micros("ecost_unassigned", un)
+	esp.End()
 	return Result[P]{
 		Centers:         centers,
 		Assign:          assign,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metricspace"
 	"repro/internal/par"
 	"repro/internal/uncertain"
+	"repro/obs"
 )
 
 // SwapEvaluator is the incremental exact evaluator for the unassigned
@@ -285,8 +286,16 @@ func EcostSweepCompiled[P any](ctx context.Context, c *Compiled[P], chosen []int
 	if workers < 1 {
 		workers = 1
 	}
+	sp := obs.StartSpan(obs.FromContext(ctx), "sweep")
+	sp.Int("k", len(chosen))
+	sp.Int("candidates", len(candidates))
 	if disableCache {
-		return ecostSweepScratch(ctx, c, candidates, chosen, workers)
+		out, err := ecostSweepScratch(ctx, c, candidates, chosen, workers)
+		if err != nil {
+			return nil, err
+		}
+		sp.End()
+		return out, nil
 	}
 	ev, err := c.Evaluator(ctx, workers)
 	if err != nil {
@@ -308,6 +317,7 @@ func EcostSweepCompiled[P any](ctx context.Context, c *Compiled[P], chosen []int
 		}
 		out[pos] = row
 	}
+	sp.End()
 	return out, nil
 }
 

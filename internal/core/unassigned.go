@@ -8,6 +8,7 @@ import (
 	"repro/internal/metricspace"
 	"repro/internal/par"
 	"repro/internal/uncertain"
+	"repro/obs"
 )
 
 // LocalSearchOptions configures SolveUnassignedLS.
@@ -154,10 +155,18 @@ func SolveUnassignedLSCompiled[P any](ctx context.Context, c *Compiled[P], k int
 // EvalSwap per candidate. With ev == nil it evaluates every swap from
 // scratch on the compiled flat layout (the cross-check oracle), reusing
 // per-worker center/value/arena scratch across the whole descent.
+// Instrumentation: each completed swap round reports an "ls.iter" span —
+// swaps evaluated, improvements taken, and the round-end E-cost in
+// micro-units, i.e. the cost trajectory — and the whole descent reports one
+// "ls.descent" span with the totals. With no tracer on ctx every span is
+// inert (zero allocations, no clock reads); the per-candidate inner loop is
+// never instrumented at all.
 func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, seed []int, maxIter, workers int, ev *SwapEvaluator[P]) ([]P, float64, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	tracer := obs.FromContext(ctx)
+	dsp := obs.StartSpan(tracer, "ls.descent")
 	chosen := append([]int(nil), seed...)
 	sel := func(idx []int) []P {
 		out := make([]P, len(idx))
@@ -212,8 +221,11 @@ func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, se
 		}
 	}
 
+	iters, totalSwaps, totalTaken := 0, 0, 0
 	for iter := 0; iter < maxIter; iter++ {
+		isp := obs.StartSpan(tracer, "ls.iter")
 		improved := false
+		swaps, taken := 0, 0
 		for pos := 0; pos < len(chosen); pos++ {
 			old := chosen[pos]
 			// Scan the swap neighborhood: exact cost of replacing
@@ -221,6 +233,7 @@ func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, se
 			if err := scanPos(pos); err != nil {
 				return nil, 0, err
 			}
+			swaps += len(candidates) - len(chosen)
 			bestC, bestCost := -1, cost
 			for c := range candidates {
 				if inSet[c] {
@@ -235,13 +248,28 @@ func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, se
 				delete(inSet, old)
 				inSet[bestC] = true
 				cost = bestCost
+				taken++
 				improved = true
 			}
 		}
+		iters++
+		totalSwaps += swaps
+		totalTaken += taken
+		isp.Int("iter", iter)
+		isp.Int("swaps", swaps)
+		isp.Int("improvements", taken)
+		isp.Micros("ecost", cost)
+		isp.End()
 		if !improved {
 			break
 		}
 	}
+	dsp.Int("k", len(chosen))
+	dsp.Int("iters", iters)
+	dsp.Int("swaps", totalSwaps)
+	dsp.Int("improvements", totalTaken)
+	dsp.Micros("ecost", cost)
+	dsp.End()
 	return sel(chosen), cost, nil
 }
 

@@ -72,7 +72,7 @@ func TestWorkers(t *testing.T) {
 func TestForWorkerCoversAllIndicesWithValidSlots(t *testing.T) {
 	for _, workers := range []int{1, 3, 8} {
 		n := 100
-		hits := make([]int32, n)   // hits[i] = 1 + worker slot that ran i
+		hits := make([]int32, n) // hits[i] = 1 + worker slot that ran i
 		err := par.ForWorker(context.Background(), n, workers, func(w, i int) {
 			atomic.AddInt32(&hits[i], int32(w)+1)
 		})

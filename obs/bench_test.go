@@ -1,0 +1,43 @@
+package obs
+
+import "testing"
+
+// BenchmarkSpanNilTracer is the package's headline number: the cost of a
+// fully-exercised instrumentation site when nobody is listening. The report
+// must show 0 allocs/op — this is the contract the instrumented core hot
+// paths (BenchmarkSwapIncremental, BenchmarkRepeatedSolve) depend on.
+func BenchmarkSpanNilTracer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(nil, "region")
+		sp.Int("count", i)
+		sp.Micros("ecost", 1.5)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanRecorder is the same site with a live tracer — the price a
+// listener pays per span (one attr-slice allocation plus the recorder's
+// bookkeeping).
+func BenchmarkSpanRecorder(b *testing.B) {
+	var rec Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(&rec, "region")
+		sp.Int("count", i)
+		sp.Micros("ecost", 1.5)
+		sp.End()
+		if i%1024 == 0 {
+			rec.Reset() // bound the retained slice so the bench measures spans, not growth
+		}
+	}
+}
+
+// BenchmarkHistogramObserve: the serving layer calls this on every request.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DurationBuckets()...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSpanNilTracerAllocs pins the package's core contract: with no tracer
+// installed, a fully-exercised span — start, attributes, end — performs
+// zero allocations. Every instrumented hot path in internal/core relies on
+// this.
+func TestSpanNilTracerAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(nil, "x")
+		sp.Int("a", 1)
+		sp.Int64("b", 2)
+		sp.Micros("c", 3.5)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer span allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpanNilTracerSkipsClock asserts the inert span never reads the clock:
+// its start time stays zero.
+func TestSpanNilTracerSkipsClock(t *testing.T) {
+	sp := StartSpan(nil, "x")
+	if !sp.start.IsZero() {
+		t.Fatal("inert span read the clock")
+	}
+}
+
+func TestSpanReportsToTracer(t *testing.T) {
+	var rec Recorder
+	sp := StartSpan(&rec, "region")
+	sp.Int("count", 7)
+	sp.Micros("ecost", 1.25)
+	sp.End()
+
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "region" || s.Instance != "" {
+		t.Fatalf("span = %+v", s)
+	}
+	if v, ok := s.Attr("count"); !ok || v != 7 {
+		t.Fatalf("count attr = %v, %v", v, ok)
+	}
+	if v, ok := s.Attr("ecost"); !ok || v != 1250000 {
+		t.Fatalf("ecost attr = %v, %v (want micro-units)", v, ok)
+	}
+	if s.Dur < 0 {
+		t.Fatalf("negative duration %v", s.Dur)
+	}
+}
+
+// TestSpanAttrOverflow: attributes beyond the inline capacity are dropped,
+// never reallocated.
+func TestSpanAttrOverflow(t *testing.T) {
+	var rec Recorder
+	sp := StartSpan(&rec, "region")
+	for i := 0; i < maxSpanAttrs+3; i++ {
+		sp.Int("k", i)
+	}
+	sp.End()
+	if got := len(rec.Spans()[0].Attrs); got != maxSpanAttrs {
+		t.Fatalf("retained %d attrs, want %d", got, maxSpanAttrs)
+	}
+}
+
+func TestWithInstance(t *testing.T) {
+	var rec Recorder
+	tr := WithInstance(&rec, "fleet")
+	sp := StartSpan(tr, "evaluator.build")
+	sp.End()
+	if got := rec.Spans()[0].Instance; got != "fleet" {
+		t.Fatalf("instance = %q, want fleet", got)
+	}
+	if WithInstance(nil, "fleet") != nil {
+		t.Fatal("WithInstance(nil) must stay nil")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi with no live tracers must be nil")
+	}
+	var a, b Recorder
+	if got := Multi(nil, &a); got != Tracer(&a) {
+		t.Fatal("Multi with one live tracer must unwrap it")
+	}
+	tr := Multi(&a, &b)
+	sp := StartSpan(tr, "x")
+	sp.End()
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Fatalf("fan-out reached %d/%d tracers", len(a.Spans()), len(b.Spans()))
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context must carry no tracer")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("nil context must carry no tracer")
+	}
+	var rec Recorder
+	ctx := NewContext(context.Background(), &rec)
+	if FromContext(ctx) != Tracer(&rec) {
+		t.Fatal("tracer did not round-trip through the context")
+	}
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Fatal("NewContext(nil tracer) must return ctx unchanged")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// ≤1: {0.5, 1}; ≤10: {5, 10}; ≤100: {50, 100}; +Inf: {1000}.
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if math.Abs(s.Sum-1166.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1166.5", s.Sum)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram(DurationBuckets()...)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.003) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1)
+	done := make(chan struct{})
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per || s.Counts[0] != workers*per {
+		t.Fatalf("count = %d bucket0 = %d, want %d", s.Count, s.Counts[0], workers*per)
+	}
+	if math.Abs(s.Sum-0.5*workers*per) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, 0.5*workers*per)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+// TestRecorderAttrsCopied: the recorder must copy the attr slice — the
+// Tracer contract says attrs are valid only during the call.
+func TestRecorderAttrsCopied(t *testing.T) {
+	var rec Recorder
+	attrs := []Attr{{Key: "a", Val: 1}}
+	rec.Span("x", "", time.Now(), time.Millisecond, attrs)
+	attrs[0].Val = 99
+	if v, _ := rec.Spans()[0].Attr("a"); v != 1 {
+		t.Fatalf("recorder aliased the caller's attrs (saw %d)", v)
+	}
+}

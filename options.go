@@ -2,6 +2,7 @@ package ukc
 
 import (
 	"repro/internal/core"
+	"repro/obs"
 )
 
 // CertainSolver names the deterministic k-center algorithm a Solver runs on
@@ -26,6 +27,7 @@ type solverConfig struct {
 	seed         int64
 	maxIter      int
 	noSwapCache  bool
+	tracer       obs.Tracer
 }
 
 func defaultConfig() solverConfig {
@@ -128,4 +130,25 @@ func WithMaxIter(n int) Option {
 // Results agree to ≤ 1e-12 relative with identical swap trajectories.
 func WithSwapCache(enabled bool) Option {
 	return func(c *solverConfig) { c.noSwapCache = !enabled }
+}
+
+// WithTracer installs an observability tracer on the solver: every solve
+// stamps it into the request context, and the instrumented stages report
+// spans through it — compilation phases (compile.validate, compile.flatten),
+// memoized cache builds with their byte sizes (surrogate.build.*,
+// evaluator.build — these fire once per instance lifetime, or again after a
+// serving-layer eviction), the solve pipeline phases (solve.surrogates,
+// solve.certain, solve.assign, solve.ecost), the swap sweep ("sweep"), and
+// the local-search descent (ls.descent, plus one ls.iter per round carrying
+// swaps evaluated, improvements taken and the E-cost trajectory in
+// micro-units). DESIGN.md §8 documents the span vocabulary.
+//
+// The default (no tracer) costs nothing: every instrumentation site is a
+// nil check — zero allocations and no clock reads on the hot paths, pinned
+// by BenchmarkObsOverhead and the obs package's allocation tests. The
+// tracer must be goroutine-safe; it composes with a tracer already carried
+// by the caller's context (e.g. the serving layer's per-instance
+// cache-build tracer) — both see every span.
+func WithTracer(tr obs.Tracer) Option {
+	return func(c *solverConfig) { c.tracer = tr }
 }

@@ -1,0 +1,218 @@
+package serve_test
+
+// Observability-surface tests: the canceled/failed/expired counter split,
+// HitRate edge cases, per-instance cache metrics, and the Collect walk the
+// Prometheus endpoint is built on.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	ukc "repro"
+	"repro/serve"
+)
+
+// waitTotals polls the server until pred holds on the totals snapshot (the
+// worker records counters asynchronously after do returns).
+func waitTotals(t *testing.T, srv *serve.Server[ukc.Vec], pred func(serve.ShardMetrics) bool) serve.ShardMetrics {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := srv.Metrics().Totals()
+		if pred(m) {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never converged: %+v", m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHitRateZeroExecuted pins HitRate on a snapshot with no executed
+// requests: 0, not NaN.
+func TestHitRateZeroExecuted(t *testing.T) {
+	var m serve.ShardMetrics
+	if hr := m.HitRate(); hr != 0 {
+		t.Fatalf("HitRate with no executed requests = %v, want 0", hr)
+	}
+}
+
+// TestCanceledSplitsFromFailed drives each terminal outcome once and
+// checks it lands in its own counter: a caller-canceled queued request is
+// Canceled, a genuine execution error is Failed, a queued deadline expiry
+// is Expired — no cross-contamination.
+func TestCanceledSplitsFromFailed(t *testing.T) {
+	insts := testInstances(t, 1)
+	srv := newTestServer(t, nil, insts)
+
+	// Caller cancellation: the context is dead before the worker picks the
+	// task up, so it is counted as canceled without executing.
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Solve(cctx, serve.SolveRequest{Instance: "inst-0", K: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: err = %v, want context.Canceled", err)
+	}
+	m := waitTotals(t, srv, func(m serve.ShardMetrics) bool { return m.Canceled == 1 })
+	if m.Failed != 0 || m.Expired != 0 {
+		t.Fatalf("cancellation leaked into Failed=%d/Expired=%d", m.Failed, m.Expired)
+	}
+
+	// Genuine execution error: an invalid k reaches the solver and fails.
+	if _, err := srv.Solve(context.Background(), serve.SolveRequest{Instance: "inst-0", K: -1}); err == nil {
+		t.Fatal("k=-1 solve succeeded")
+	}
+	m = waitTotals(t, srv, func(m serve.ShardMetrics) bool { return m.Failed == 1 })
+	if m.Canceled != 1 || m.Expired != 0 {
+		t.Fatalf("execution error miscounted: %+v", m)
+	}
+
+	// Deadline expiry stays its own signal.
+	if _, err := srv.Solve(context.Background(), serve.SolveRequest{Instance: "inst-0", K: 2, Deadline: time.Nanosecond}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1ns deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	m = waitTotals(t, srv, func(m serve.ShardMetrics) bool { return m.Expired == 1 })
+	if m.Canceled != 1 || m.Failed != 1 {
+		t.Fatalf("deadline expiry miscounted: %+v", m)
+	}
+}
+
+// TestLatencySplitAndPerInstance runs real traffic and checks the new
+// snapshot surfaces: the queue/exec split is populated and consistent with
+// the end-to-end view, and the served instance reports its cache bytes and
+// at least one recorded cache build (the cold first solve).
+func TestLatencySplitAndPerInstance(t *testing.T) {
+	insts := testInstances(t, 2)
+	srv := newTestServer(t, nil, insts)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Solve(ctx, serve.SolveRequest{Instance: "inst-0", K: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics().Totals()
+	if m.ExecP50 <= 0 {
+		t.Fatalf("ExecP50 = %v, want > 0 after real solves", m.ExecP50)
+	}
+	if m.LatencyP99 < m.ExecP99 || m.LatencyP99 < m.QueueP99 {
+		t.Fatalf("end-to-end p99 %v below a component (queue %v, exec %v)", m.LatencyP99, m.QueueP99, m.ExecP99)
+	}
+
+	var served *serve.InstanceMetrics
+	for _, sh := range srv.Metrics().Shards {
+		for i := range sh.PerInstance {
+			if sh.PerInstance[i].Name == "inst-0" {
+				served = &sh.PerInstance[i]
+			}
+		}
+	}
+	if served == nil {
+		t.Fatal("inst-0 missing from PerInstance")
+	}
+	if served.CacheBytes <= 0 {
+		t.Errorf("inst-0 CacheBytes = %d, want > 0 after solves", served.CacheBytes)
+	}
+	if served.CacheBuilds.Count == 0 {
+		t.Error("inst-0 recorded no cache builds; the cold solve should observe the surrogate build")
+	}
+}
+
+// TestCollectWalk checks the exporter walk: the core series are present,
+// counters agree with the Metrics snapshot, histogram buckets are
+// cumulative with le="+Inf" equal to the count, and label maps are fresh
+// per sample.
+func TestCollectWalk(t *testing.T) {
+	insts := testInstances(t, 2)
+	srv := newTestServer(t, nil, insts)
+	ctx := context.Background()
+	for _, name := range []string{"inst-0", "inst-1"} {
+		if _, err := srv.Solve(ctx, serve.SolveRequest{Instance: name, K: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type sample struct {
+		labels map[string]string
+		value  float64
+	}
+	series := map[string][]sample{}
+	srv.Collect(func(name string, labels map[string]string, value float64) {
+		series[name] = append(series[name], sample{labels, value})
+	})
+
+	for _, want := range []string{
+		"ukc_serve_requests_total",
+		"ukc_serve_cache_events_total",
+		"ukc_serve_instances",
+		"ukc_serve_queue_depth",
+		"ukc_serve_queue_capacity",
+		"ukc_serve_cache_bytes",
+		"ukc_serve_cache_budget_bytes",
+		"ukc_serve_latency_seconds",
+		"ukc_serve_instance_cache_bytes",
+		"ukc_serve_instance_cache_build_seconds_bucket",
+		"ukc_serve_instance_cache_build_seconds_sum",
+		"ukc_serve_instance_cache_build_seconds_count",
+	} {
+		if len(series[want]) == 0 {
+			t.Errorf("series %q missing from Collect walk", want)
+		}
+	}
+
+	totals := srv.Metrics().Totals()
+	var admitted, completed float64
+	for _, s := range series["ukc_serve_requests_total"] {
+		switch s.labels["outcome"] {
+		case "admitted":
+			admitted += s.value
+		case "completed":
+			completed += s.value
+		}
+	}
+	if admitted != float64(totals.Admitted) || completed != float64(totals.Completed) {
+		t.Errorf("walk counters admitted=%v completed=%v, snapshot %d/%d", admitted, completed, totals.Admitted, totals.Completed)
+	}
+
+	// Histogram sanity per instance: buckets non-decreasing, +Inf == count.
+	byInst := map[string][]sample{}
+	for _, s := range series["ukc_serve_instance_cache_build_seconds_bucket"] {
+		key := s.labels["shard"] + "/" + s.labels["instance"]
+		byInst[key] = append(byInst[key], s)
+	}
+	counts := map[string]float64{}
+	for _, s := range series["ukc_serve_instance_cache_build_seconds_count"] {
+		counts[s.labels["shard"]+"/"+s.labels["instance"]] = s.value
+	}
+	for key, buckets := range byInst {
+		prev := -1.0
+		var inf float64
+		for _, b := range buckets {
+			if b.value < prev {
+				t.Errorf("%s: bucket counts not cumulative", key)
+			}
+			prev = b.value
+			if b.labels["le"] == "+Inf" {
+				inf = b.value
+			}
+		}
+		if inf != counts[key] {
+			t.Errorf("%s: le=+Inf bucket %v != count %v", key, inf, counts[key])
+		}
+	}
+
+	// Label maps must not be aliased between samples.
+	seen := map[string]bool{}
+	for _, s := range series["ukc_serve_latency_seconds"] {
+		key := s.labels["shard"] + "|" + s.labels["stage"] + "|" + s.labels["quantile"]
+		if seen[key] {
+			t.Fatalf("duplicate latency sample %q — label map aliasing", key)
+		}
+		seen[key] = true
+		if !strings.Contains("queue exec total", s.labels["stage"]) {
+			t.Fatalf("unexpected stage %q", s.labels["stage"])
+		}
+	}
+}

@@ -40,11 +40,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	ukc "repro"
 	"repro/internal/lru"
+	"repro/obs"
 )
 
 // ErrOverloaded is returned when the target shard's request queue is full:
@@ -62,12 +64,30 @@ var ErrNotFound = errors.New("serve: instance not registered")
 // entry is one registered instance: the compiled model (metered and
 // evicted) and an Instance pinned to it (what the solver consumes).
 // bytes is the shard's last accounting of c.CacheBytes(), owned by the
-// shard mutex.
+// shard mutex. buildDur accumulates the instance's memoized cache-build
+// durations — fed by tracer, which execute installs into every request
+// context so the core's build spans land here; a post-eviction rebuild is
+// one more observation.
 type entry[P any] struct {
-	name  string
-	inst  ukc.Instance[P]
-	c     *ukc.Compiled[P]
-	bytes int64
+	name     string
+	inst     ukc.Instance[P]
+	c        *ukc.Compiled[P]
+	bytes    int64
+	buildDur *obs.Histogram
+	tracer   obs.Tracer
+}
+
+// entryTracer funnels the cache-build spans of one registered instance
+// (surrogate.build.*, evaluator.build) into its build-duration histogram
+// and ignores everything else. A single-pointer struct converts to
+// obs.Tracer without allocating, and the Histogram is lock-free, so the
+// per-span cost is a prefix check plus two atomics.
+type entryTracer[P any] struct{ ent *entry[P] }
+
+func (et entryTracer[P]) Span(name, _ string, _ time.Time, dur time.Duration, _ []obs.Attr) {
+	if strings.HasPrefix(name, "surrogate.build") || name == "evaluator.build" {
+		et.ent.buildDur.Observe(dur.Seconds())
+	}
 }
 
 // task is one admitted request: the deadline-carrying context, the target
@@ -193,7 +213,8 @@ func (s *Server[P]) Register(ctx context.Context, name string, inst ukc.Instance
 		sh.mu.Unlock()
 		return fmt.Errorf("serve: instance %q already registered", name)
 	}
-	ent := &entry[P]{name: name, inst: pinned, c: c, bytes: c.CacheBytes()}
+	ent := &entry[P]{name: name, inst: pinned, c: c, bytes: c.CacheBytes(), buildDur: obs.NewHistogram(obs.DurationBuckets()...)}
+	ent.tracer = entryTracer[P]{ent}
 	sh.entries[name] = ent
 	sh.cacheBytes += ent.bytes
 	sh.rec.Touch(name)
@@ -335,12 +356,13 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 		// without running — the worker moves straight to the next request,
 		// and no shard state has been touched. Only true deadline expiry
 		// counts as Expired; a caller disconnect (context.Canceled — every
-		// dropped HTTP connection in ukserver) is a Failed request, so the
-		// Expired metric stays a faithful deadline-tuning signal.
+		// dropped HTTP connection in ukserver) is Canceled, so Expired
+		// stays a faithful deadline-tuning signal and Failed is reserved
+		// for genuine execution errors.
 		if errors.Is(err, context.DeadlineExceeded) {
 			sh.m.expired.Add(1)
 		} else {
-			sh.m.failed.Add(1)
+			sh.m.canceled.Add(1)
 		}
 		t.err = err
 		return
@@ -354,7 +376,12 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 
 	buildsBefore := t.ent.c.CacheBuilds()
 	start := time.Now()
-	t.err = t.fn(t.ctx)
+	// The entry's tracer rides the request context so any cache build the
+	// core performs during this execution (cold start or post-eviction
+	// rebuild) lands in this instance's build-duration histogram; a solver
+	// tracer, if one is installed, merges with it rather than being
+	// displaced.
+	t.err = t.fn(obs.NewContext(t.ctx, t.ent.tracer))
 	t.stats.Exec = time.Since(start)
 	// A warm-cache hit is a request during which no memoized cache was
 	// built. The monotonic build counter (never decremented, not even by
@@ -362,17 +389,22 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 	// with a concurrent eviction zeroing the bytes mid-request.
 	t.stats.CacheHit = t.ent.c.CacheBuilds() == buildsBefore
 
-	if t.err != nil {
-		sh.m.failed.Add(1)
-	} else {
+	switch {
+	case t.err == nil:
 		sh.m.completed.Add(1)
+	case errors.Is(t.err, context.Canceled):
+		sh.m.canceled.Add(1)
+	case errors.Is(t.err, context.DeadlineExceeded):
+		sh.m.expired.Add(1)
+	default:
+		sh.m.failed.Add(1)
 	}
 	if t.stats.CacheHit {
 		sh.m.hits.Add(1)
 	} else {
 		sh.m.misses.Add(1)
 	}
-	sh.lat.record(t.stats.Queue + t.stats.Exec)
+	sh.lat.record(t.stats.Queue, t.stats.Exec)
 
 	after := t.ent.c.CacheBytes()
 	sh.mu.Lock()
@@ -459,8 +491,17 @@ func (s *Server[P]) Metrics() Metrics {
 		sh.mu.Lock()
 		instances := len(sh.entries)
 		bytes := sh.cacheBytes
+		per := make([]InstanceMetrics, 0, len(sh.entries))
+		for _, ent := range sh.entries {
+			per = append(per, InstanceMetrics{
+				Name:        ent.name,
+				CacheBytes:  ent.bytes,
+				CacheBuilds: ent.buildDur.Snapshot(),
+			})
+		}
 		sh.mu.Unlock()
-		p50, p99 := sh.lat.quantiles()
+		sort.Slice(per, func(a, b int) bool { return per[a].Name < per[b].Name })
+		q := sh.lat.quantiles()
 		out.Shards[i] = ShardMetrics{
 			Shard:       sh.id,
 			Instances:   instances,
@@ -472,12 +513,18 @@ func (s *Server[P]) Metrics() Metrics {
 			Rejected:    sh.m.rejected.Load(),
 			Completed:   sh.m.completed.Load(),
 			Failed:      sh.m.failed.Load(),
+			Canceled:    sh.m.canceled.Load(),
 			Expired:     sh.m.expired.Load(),
 			CacheHits:   sh.m.hits.Load(),
 			CacheMisses: sh.m.misses.Load(),
 			Evictions:   sh.m.evictions.Load(),
-			LatencyP50:  p50,
-			LatencyP99:  p99,
+			LatencyP50:  q.TotalP50,
+			LatencyP99:  q.TotalP99,
+			QueueP50:    q.QueueP50,
+			QueueP99:    q.QueueP99,
+			ExecP50:     q.ExecP50,
+			ExecP99:     q.ExecP99,
+			PerInstance: per,
 		}
 	}
 	return out

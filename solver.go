@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/clusterx"
 	"repro/internal/core"
+	"repro/obs"
 )
 
 // ResultOf is the generic solve result: centers, assignment, exact expected
@@ -78,11 +79,30 @@ func (s *Solver[P]) compile(ctx context.Context, inst Instance[P]) (*Compiled[P]
 	return inst.Compile(ctx)
 }
 
+// obsCtx threads the solver's tracer into the request context, merging with
+// any tracer the caller's context already carries (the serving layer
+// installs one per executed request) so both see every span. With no solver
+// tracer the context passes through untouched — the common case stays
+// allocation-free.
+func (s *Solver[P]) obsCtx(ctx context.Context) context.Context {
+	if s.cfg.tracer == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ambient := obs.FromContext(ctx); ambient != nil {
+		return obs.NewContext(ctx, obs.Multi(ambient, s.cfg.tracer))
+	}
+	return obs.NewContext(ctx, s.cfg.tracer)
+}
+
 // Solve runs the uncertain k-center pipeline (Theorems 2.1–2.7) on one
 // instance: surrogate construction (memoized per instance), optional
 // coreset, deterministic k-center on the surrogates, rule-based assignment,
 // and exact expected costs on the compiled flat model.
 func (s *Solver[P]) Solve(ctx context.Context, inst Instance[P], k int) (ResultOf[P], error) {
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return ResultOf[P]{}, err
@@ -100,6 +120,7 @@ func (s *Solver[P]) Solve(ctx context.Context, inst Instance[P], k int) (ResultO
 // cache behind the fast path is memoized in the instance, so repeated
 // calls rebuild nothing.
 func (s *Solver[P]) SolveUnassigned(ctx context.Context, inst Instance[P], k int) ([]P, float64, error) {
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return nil, 0, err
@@ -126,6 +147,7 @@ func (s *Solver[P]) EcostSweep(ctx context.Context, inst Instance[P], centers []
 	if len(centers) == 0 {
 		return nil, nil, fmt.Errorf("ukc: EcostSweep with no centers")
 	}
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return nil, nil, err
@@ -144,6 +166,7 @@ func (s *Solver[P]) EcostSweep(ctx context.Context, inst Instance[P], centers []
 // expected-distance assignment. The returned cost is the exact expected
 // k-median cost of the assignment.
 func (s *Solver[P]) SolveKMedian(ctx context.Context, inst Instance[P], k int) ([]P, []int, float64, error) {
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return nil, nil, 0, err
@@ -174,6 +197,7 @@ func (s *Solver[P]) SolveKMeans(ctx context.Context, inst Instance[P], k int) (c
 // the instance, using the solver's worker pool over the compiled flat
 // model.
 func (s *Solver[P]) Ecost(ctx context.Context, inst Instance[P], centers []P, assign []int) (float64, error) {
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return 0, err
@@ -185,6 +209,7 @@ func (s *Solver[P]) Ecost(ctx context.Context, inst Instance[P], centers []P, as
 // the instance, using the solver's worker pool over the compiled flat
 // model.
 func (s *Solver[P]) EcostUnassigned(ctx context.Context, inst Instance[P], centers []P) (float64, error) {
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return 0, err
@@ -196,6 +221,7 @@ func (s *Solver[P]) EcostUnassigned(ctx context.Context, inst Instance[P], cente
 // on the instance (the rule defaults per-space exactly as in Solve). The
 // EP and OC rules reuse the instance's memoized surrogates.
 func (s *Solver[P]) Assign(ctx context.Context, inst Instance[P], centers []P) ([]int, error) {
+	ctx = s.obsCtx(ctx)
 	c, err := s.compile(ctx, inst)
 	if err != nil {
 		return nil, err
