@@ -7,7 +7,7 @@ GO ?= go
 
 # Perf-trajectory output of bench-json. Bump per PR so the repository
 # accumulates a benchmark history (BENCH_PR3.json, BENCH_PR4.json, ...).
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 # Serving-layer trajectory output of bench-serve (the PR-5 tentpole):
 # request throughput with warm-cache hit rate, serve-vs-direct overhead,
@@ -47,12 +47,15 @@ bench-parallel:
 # $(BENCH_OUT): the parallel E-cost and unassigned-scan benches, the
 # incremental-vs-scratch swap evaluator pair (the PR-3 tentpole's ≥5×
 # claim), the compiled-vs-fresh repeated-solve pair (the PR-4 tentpole's
-# amortization claim), and the instrumentation-off-vs-on overhead pair
-# (the PR-6 tentpole's zero-cost-default claim).
+# amortization claim), the instrumentation-off-vs-on overhead pair (the
+# PR-6 tentpole's zero-cost-default claim), and the cold-JSON-load vs
+# snapshot-open vs warm-solve curves (the PR-7 tentpole's
+# restart-without-recompiling claim).
 bench-json:
 	$(GO) test -json -run '^$$' -benchmem \
 		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$|BenchmarkRepeatedSolve$$|BenchmarkObsOverhead' \
 		. > $(BENCH_OUT)
+	$(GO) test -json -run '^$$' -benchmem -bench 'BenchmarkSnapshot' ./store >> $(BENCH_OUT)
 
 # bench-serve records the serving-layer trajectory as a test2json stream
 # into $(SERVE_BENCH_OUT): throughput through the sharded server in the
@@ -70,6 +73,7 @@ examples:
 	$(GO) run ./examples/streaming
 	$(GO) run ./examples/serving
 	$(GO) run ./cmd/ukserver -selfcheck
+	$(GO) run ./cmd/ukfreeze -selfcheck
 
 check: vet fmt-check build test test-race
 

@@ -1,0 +1,220 @@
+// Command ukfreeze converts a cmd/datagen JSON instance document into a
+// zero-copy snapshot (package store's ".ukc" format): compile once offline,
+// then every ukserver -snapshot-dir boot — and every store.Open — serves
+// the instance without re-validating, re-flattening or re-parsing JSON.
+//
+//	ukfreeze -in fleet.json -out snapshots/fleet.ukc
+//	ukfreeze -in fleet.json              # writes fleet.ukc next to the input
+//	cat fleet.json | ukfreeze -in - -out fleet.ukc
+//
+// The document's "kind" field selects the Euclidean or finite-metric
+// encoding, exactly as ukserver's registration endpoint does. After
+// writing, ukfreeze reopens the snapshot and solves both the original and
+// the reopened instance, failing unless the results are bit-identical —
+// a freeze that cannot round-trip never exits zero (-no-verify skips this
+// for very large instances).
+//
+// The -selfcheck flag runs the CI smoke path with no input: generate one
+// instance of each kind, freeze, reopen, verify, and exit non-zero on any
+// failure.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	ukc "repro"
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/graphmetric"
+	"repro/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ukfreeze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "input instance document (cmd/datagen JSON; \"-\" = stdin)")
+		out       = flag.String("out", "", "output snapshot path (default: input path with a .ukc extension)")
+		k         = flag.Int("k", 2, "number of centers for the verification solve")
+		noVerify  = flag.Bool("no-verify", false, "skip the reopen-and-solve verification pass")
+		selfcheck = flag.Bool("selfcheck", false, "generate both instance kinds, freeze, reopen, verify, exit")
+	)
+	flag.Parse()
+
+	if *selfcheck {
+		return runSelfcheck(*k)
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in (or -selfcheck)")
+	}
+	if *out == "" {
+		if *in == "-" {
+			return fmt.Errorf("-out is required when reading stdin")
+		}
+		*out = strings.TrimSuffix(*in, filepath.Ext(*in)) + store.SnapshotExt
+	}
+
+	var (
+		doc []byte
+		err error
+	)
+	if *in == "-" {
+		doc, err = io.ReadAll(os.Stdin)
+	} else {
+		doc, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		return err
+	}
+	return freezeDoc(context.Background(), doc, *out, *k, !*noVerify)
+}
+
+// freezeDoc routes the document to the kind-typed freeze path, mirroring
+// ukserver's registration sniff.
+func freezeDoc(ctx context.Context, doc []byte, out string, k int, verify bool) error {
+	var head struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(doc, &head); err != nil {
+		return fmt.Errorf("parsing instance document: %w", err)
+	}
+	switch head.Kind {
+	case dataio.KindEuclidean:
+		inst, err := ukc.ReadCompiledInstance(bytes.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		return freeze(ctx, inst, head.Kind, out, k, verify)
+	case dataio.KindFinite:
+		inst, err := ukc.ReadCompiledFiniteInstance(bytes.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		return freeze(ctx, inst, head.Kind, out, k, verify)
+	default:
+		return fmt.Errorf("unknown instance kind %q", head.Kind)
+	}
+}
+
+// freeze writes inst's snapshot and, when verify is set, reopens it and
+// requires the frozen instance to solve bit-identically to the original —
+// the persistence contract, checked on the operator's actual file.
+func freeze[P any](ctx context.Context, inst ukc.Instance[P], kind, out string, k int, verify bool) error {
+	c, err := inst.Compile(ctx)
+	if err != nil {
+		return err
+	}
+	n, err := store.Write(ctx, out, c)
+	if err != nil {
+		return err
+	}
+	status := "not verified (-no-verify)"
+	if verify {
+		if err := verifySnapshot(ctx, inst, out, k); err != nil {
+			return fmt.Errorf("verifying %s: %w", out, err)
+		}
+		status = fmt.Sprintf("verified (k=%d solve bit-identical after reopen)", k)
+	}
+	fmt.Printf("ukfreeze: %s: %s, %d points, %d bytes, %s\n", out, kind, inst.N(), n, status)
+	return nil
+}
+
+func verifySnapshot[P any](ctx context.Context, orig ukc.Instance[P], path string, k int) error {
+	snap, err := store.Open(ctx, path)
+	if err != nil {
+		return err
+	}
+	c, ok := snap.Compiled().(*ukc.Compiled[P])
+	if !ok {
+		snap.Close()
+		return fmt.Errorf("reopened snapshot has kind %s, not the frozen instance's", snap.Kind())
+	}
+	frozen, err := ukc.InstanceOf(c)
+	if err != nil {
+		snap.Close()
+		return err
+	}
+	solver := ukc.NewSolver[P]()
+	want, err := solver.Solve(ctx, orig, k)
+	if err != nil {
+		snap.Close()
+		return fmt.Errorf("solving original: %w", err)
+	}
+	got, err := solver.Solve(ctx, frozen, k)
+	if err != nil {
+		snap.Close()
+		return fmt.Errorf("solving frozen: %w", err)
+	}
+	// Compare before Close: for Euclidean instances the frozen result's
+	// centers alias the mapped bytes, and reading them after the unmap
+	// would be a use-after-free.
+	same := reflect.DeepEqual(want, got)
+	if err := snap.Close(); err != nil {
+		return err
+	}
+	if !same {
+		return fmt.Errorf("frozen solve diverges from the original:\noriginal %+v\nfrozen   %+v", want, got)
+	}
+	return nil
+}
+
+// runSelfcheck freezes one generated instance of each kind through the full
+// CLI path (document bytes in, verified snapshot out) in a scratch dir.
+func runSelfcheck(k int) error {
+	dir, err := os.MkdirTemp("", "ukfreeze-selfcheck-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
+
+	pts, err := gen.GaussianClusters(rng, 40, 4, 2, 3, 1, 0.4)
+	if err != nil {
+		return err
+	}
+	var euDoc bytes.Buffer
+	if err := dataio.WriteEuclidean(&euDoc, pts); err != nil {
+		return err
+	}
+	if err := freezeDoc(ctx, euDoc.Bytes(), filepath.Join(dir, "eu"+store.SnapshotExt), k, true); err != nil {
+		return fmt.Errorf("euclidean: %w", err)
+	}
+
+	graph, _, err := graphmetric.RandomGeometric(30, 0.3, rng)
+	if err != nil {
+		return err
+	}
+	space, err := graph.Metric()
+	if err != nil {
+		return err
+	}
+	fpts, err := gen.OnVerticesLocal(rng, space, 20, 3)
+	if err != nil {
+		return err
+	}
+	var finDoc bytes.Buffer
+	if err := dataio.WriteFinite(&finDoc, space, fpts); err != nil {
+		return err
+	}
+	if err := freezeDoc(ctx, finDoc.Bytes(), filepath.Join(dir, "fin"+store.SnapshotExt), k, true); err != nil {
+		return fmt.Errorf("finite: %w", err)
+	}
+	fmt.Println("selfcheck: ok")
+	return nil
+}

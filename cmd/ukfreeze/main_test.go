@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/store"
+)
+
+// TestSelfcheck runs the full generate-freeze-reopen-verify path for both
+// instance kinds — what `make examples` drives in CI.
+func TestSelfcheck(t *testing.T) {
+	if err := runSelfcheck(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreezeDoc pins the CLI contract on a real document: the snapshot
+// lands at the requested path, opens under the right kind, and a garbage
+// kind is rejected before anything is written.
+func TestFreezeDoc(t *testing.T) {
+	dir := t.TempDir()
+	pts, err := gen.GaussianClusters(rand.New(rand.NewSource(7)), 25, 3, 2, 2, 1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := dataio.WriteEuclidean(&doc, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "inst"+store.SnapshotExt)
+	if err := freezeDoc(context.Background(), doc.Bytes(), out, 2, true); err != nil {
+		t.Fatalf("freezeDoc: %v", err)
+	}
+	snap, err := store.Open(context.Background(), out)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	if snap.Kind() != store.KindEuclidean {
+		t.Fatalf("kind = %q, want euclidean", snap.Kind())
+	}
+
+	bad := filepath.Join(dir, "bad"+store.SnapshotExt)
+	err = freezeDoc(context.Background(), []byte(`{"kind":"nope"}`), bad, 2, true)
+	if err == nil || !strings.Contains(err.Error(), "unknown instance kind") {
+		t.Fatalf("freezeDoc(bad kind) = %v, want unknown-kind error", err)
+	}
+	if _, statErr := os.Stat(bad); !os.IsNotExist(statErr) {
+		t.Fatalf("rejected document left a file behind: %v", statErr)
+	}
+}

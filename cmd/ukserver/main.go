@@ -31,11 +31,24 @@
 // invalid instance data, 429 shard queue full (ErrOverloaded — back off and
 // retry), 504 deadline exceeded.
 //
+// Persistence: -snapshot-dir names a directory of zero-copy snapshots
+// (package store). On boot every "*.ukc" file in it is opened — mmap'd, not
+// decoded — and registered under its base name, so a restarted server
+// answers its first request without recompiling anything. POST
+// /v1/instances/{name}/freeze writes the named instance's snapshot into the
+// directory (409 when the server runs without one), and the scrape gains a
+// ukc_store_mapped_bytes gauge for the resident mapped total.
+//
+//	ukserver -snapshot-dir /var/lib/ukc/snapshots
+//	curl -X POST localhost:8080/v1/instances/fleet/freeze
+//
 // The -selfcheck flag runs the CI smoke path: boot the full server on a
 // loopback port, drive every endpoint through real HTTP for both instance
 // kinds — including scraping /metrics and asserting the exposition parses
-// and carries the core series — print the responses, and exit non-zero on
-// any failure.
+// and carries the core series — then freeze both instances, boot a second
+// gateway warm from the snapshot directory, and assert it lists them and
+// answers bit-identically without a single compile span firing. It prints
+// the responses and exits non-zero on any failure.
 package main
 
 import (
@@ -60,8 +73,12 @@ import (
 	"repro/internal/graphmetric"
 	"repro/obs"
 	"repro/serve"
+	"repro/store"
 
 	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
 )
 
 func main() {
@@ -82,6 +99,7 @@ func run() error {
 		parallel  = flag.Int("parallel", 1, "solver worker count inside one request (<0 = all CPUs)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		trace     = flag.Bool("trace", false, "log every solver span (debug level) via the ukc.WithTracer hook")
+		snapDir   = flag.String("snapshot-dir", "", "snapshot directory: warm-start from its *.ukc files and accept freeze requests into it (\"\" = off)")
 		selfcheck = flag.Bool("selfcheck", false, "boot on a loopback port, exercise every endpoint, exit")
 	)
 	flag.Parse()
@@ -104,7 +122,7 @@ func run() error {
 		serve.WithCacheBudget(*budget),
 		serve.WithDefaultDeadline(*deadline),
 	}
-	gw, err := newGateway(*parallel, tracer, opts...)
+	gw, err := newGateway(*parallel, tracer, *snapDir, opts...)
 	if err != nil {
 		return err
 	}
@@ -140,15 +158,21 @@ func run() error {
 // it, two overlapping PUTs of different kinds could both succeed and the
 // router would shadow one copy forever. Workload traffic never takes it.
 type gateway struct {
-	regMu sync.Mutex
-	eu    *serve.Server[ukc.Vec]
-	fin   *serve.Server[int]
+	regMu   sync.Mutex
+	eu      *serve.Server[ukc.Vec]
+	fin     *serve.Server[int]
+	snapDir string // "" = persistence off (no warm start, freeze returns 409)
 }
 
-func newGateway(parallel int, tracer obs.Tracer, opts ...serve.Option) (*gateway, error) {
+func newGateway(parallel int, tracer obs.Tracer, snapDir string, opts ...serve.Option) (*gateway, error) {
 	solverOpts := []ukc.Option{ukc.WithParallelism(parallel)}
 	if tracer != nil {
 		solverOpts = append(solverOpts, ukc.WithTracer(tracer))
+	}
+	if snapDir != "" {
+		// Both typed servers scan the same directory; each claims only the
+		// snapshots of its own kind (serve.ErrSnapshotKind skip).
+		opts = append(opts, serve.WithSnapshotDir(snapDir))
 	}
 	eu, err := serve.New(ukc.NewSolver[ukc.Vec](solverOpts...), opts...)
 	if err != nil {
@@ -159,7 +183,7 @@ func newGateway(parallel int, tracer obs.Tracer, opts ...serve.Option) (*gateway
 		eu.Close()
 		return nil, err
 	}
-	return &gateway{eu: eu, fin: fin}, nil
+	return &gateway{eu: eu, fin: fin, snapDir: snapDir}, nil
 }
 
 func (g *gateway) close() {
@@ -213,6 +237,7 @@ func (g *gateway) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/instances/{name}", g.handleRegister)
 	mux.HandleFunc("DELETE /v1/instances/{name}", g.handleUnregister)
+	mux.HandleFunc("POST /v1/instances/{name}/freeze", g.handleFreeze)
 	mux.HandleFunc("GET /v1/instances", g.handleList)
 	mux.HandleFunc("POST /v1/solve", g.workload(bind(g.eu, doSolve[ukc.Vec]), bind(g.fin, doSolve[int])))
 	mux.HandleFunc("POST /v1/assign", g.workload(bind(g.eu, doAssign[ukc.Vec]), bind(g.fin, doAssign[int])))
@@ -306,6 +331,48 @@ func (g *gateway) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"instance": name, "unregistered": true})
 }
 
+// handleFreeze writes the named instance's zero-copy snapshot into the
+// snapshot directory as <name>.ukc — the file a later boot's -snapshot-dir
+// scan (or serve.RegisterSnapshot) reopens without recompiling. Freezing is
+// idempotent: an existing snapshot is atomically replaced.
+func (g *gateway) handleFreeze(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if g.snapDir == "" {
+		httpError(w, http.StatusConflict, errors.New("no snapshot directory configured (start ukserver with -snapshot-dir)"))
+		return
+	}
+	// The instance name becomes a file name; reject anything that could
+	// escape the snapshot directory (the mux matches one path segment, but
+	// percent-encoded separators decode through PathValue).
+	if name == "" || name == "." || name == ".." || name != filepath.Base(name) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("instance name %q is not a valid snapshot name", name))
+		return
+	}
+	path := filepath.Join(g.snapDir, name+serve.SnapshotExt)
+	var (
+		kind  string
+		bytes int64
+		err   error
+	)
+	// Get, not kindOf-then-Get: a concurrent DELETE between the two lookups
+	// must land on 404, never on freezing a nil model.
+	if c, ok := g.eu.Get(name); ok {
+		kind = dataio.KindEuclidean
+		bytes, err = store.Write(r.Context(), path, c)
+	} else if c, ok := g.fin.Get(name); ok {
+		kind = dataio.KindFinite
+		bytes, err = store.Write(r.Context(), path, c)
+	} else {
+		httpError(w, http.StatusNotFound, fmt.Errorf("instance %q not registered", name))
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("freezing %q: %w", name, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"instance": name, "kind": kind, "path": path, "bytes": bytes})
+}
+
 func (g *gateway) handleList(w http.ResponseWriter, _ *http.Request) {
 	type instOut struct {
 		Name string `json:"name"`
@@ -329,11 +396,14 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handlePromMetrics serves both kind servers' Collect walks as one
-// Prometheus text exposition document, each sample labeled with its kind.
+// Prometheus text exposition document, each sample labeled with its kind,
+// plus the process-wide store gauge (mapped snapshot bytes span both kinds,
+// so that sample carries no kind label).
 func (g *gateway) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
 	pc := newPromCollector()
 	g.eu.Collect(pc.add(dataio.KindEuclidean))
 	g.fin.Collect(pc.add(dataio.KindFinite))
+	pc.add("")("ukc_store_mapped_bytes", map[string]string{}, float64(store.MappedBytes()))
 	var buf bytes.Buffer
 	if err := pc.write(&buf); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -543,8 +613,19 @@ func httpError(w http.ResponseWriter, status int, err error) {
 // selfcheck boots the gateway on a loopback port and drives every endpoint
 // through real HTTP for both instance kinds — the CI smoke path. pprof is
 // mounted so its surface is smoke-tested too, and the /metrics scrape is
-// parsed and asserted, not just status-checked.
+// parsed and asserted, not just status-checked. After the endpoint sweep it
+// freezes both instances and proves the warm-restart contract: a second
+// gateway booted from the snapshot directory lists them and answers
+// bit-identically, without one compile span firing.
 func (g *gateway) selfcheck(logger *slog.Logger) error {
+	if g.snapDir == "" {
+		dir, err := os.MkdirTemp("", "ukserver-selfcheck-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		g.snapDir = dir
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -582,11 +663,7 @@ func (g *gateway) selfcheck(logger *slog.Logger) error {
 		return err
 	}
 
-	steps := []struct {
-		name, method, path string
-		body               io.Reader
-		wantStatus         int
-	}{
+	steps := []selfcheckStep{
 		{"register-euclidean", http.MethodPut, "/v1/instances/smoke-eu", &euBody, http.StatusCreated},
 		{"register-finite", http.MethodPut, "/v1/instances/smoke-fin", &finBody, http.StatusCreated},
 		{"list", http.MethodGet, "/v1/instances", nil, http.StatusOK},
@@ -601,36 +678,186 @@ func (g *gateway) selfcheck(logger *slog.Logger) error {
 		{"sweep-euclidean", http.MethodPost, "/v1/sweep", jsonBody(`{"instance":"smoke-eu","centers":[[0,0],[4,4]]}`), http.StatusOK},
 		{"sweep-finite", http.MethodPost, "/v1/sweep", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
 		{"solve-unknown", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"ghost","k":2}`), http.StatusNotFound},
+		{"freeze-euclidean", http.MethodPost, "/v1/instances/smoke-eu/freeze", nil, http.StatusOK},
+		{"freeze-finite", http.MethodPost, "/v1/instances/smoke-fin/freeze", nil, http.StatusOK},
+		{"freeze-unknown", http.MethodPost, "/v1/instances/ghost/freeze", nil, http.StatusNotFound},
 		{"metrics", http.MethodGet, "/v1/metrics", nil, http.StatusOK},
 		{"pprof-cmdline", http.MethodGet, "/debug/pprof/cmdline", nil, http.StatusOK},
-		{"unregister", http.MethodDelete, "/v1/instances/smoke-eu", nil, http.StatusOK},
-		{"solve-after-unregister", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"smoke-eu","k":3}`), http.StatusNotFound},
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	for _, s := range steps {
-		req, err := http.NewRequest(s.method, base+s.path, s.body)
-		if err != nil {
-			return err
+	runSteps := func(steps []selfcheckStep) error {
+		for _, s := range steps {
+			req, err := http.NewRequest(s.method, base+s.path, s.body)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.name, err)
+			}
+			out, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			if resp.StatusCode != s.wantStatus {
+				return fmt.Errorf("%s: status %d, want %d: %s", s.name, resp.StatusCode, s.wantStatus, out)
+			}
+			if resp.Header.Get("X-Request-ID") == "" {
+				return fmt.Errorf("%s: no X-Request-ID on response", s.name)
+			}
+			fmt.Printf("selfcheck %-24s %d %s\n", s.name, resp.StatusCode, truncate(out, 140))
 		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
-		}
-		out, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
-		if resp.StatusCode != s.wantStatus {
-			return fmt.Errorf("%s: status %d, want %d: %s", s.name, resp.StatusCode, s.wantStatus, out)
-		}
-		if resp.Header.Get("X-Request-ID") == "" {
-			return fmt.Errorf("%s: no X-Request-ID on response", s.name)
-		}
-		fmt.Printf("selfcheck %-24s %d %s\n", s.name, resp.StatusCode, truncate(out, 140))
+		return nil
+	}
+	if err := runSteps(steps); err != nil {
+		return err
 	}
 	if err := scrapeProm(client, base); err != nil {
 		return fmt.Errorf("prom-metrics: %w", err)
 	}
 	fmt.Printf("selfcheck %-24s %d %s\n", "prom-metrics", http.StatusOK, "exposition parsed, core series present")
+
+	// Warm-restart contract: capture the cold solves, boot a second gateway
+	// from the snapshot directory just frozen into, and require identical
+	// answers with zero recompilation.
+	coldSolves := map[string][]byte{}
+	for name, body := range solveBodies {
+		out, status, err := postJSON(client, base+"/v1/solve", body)
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("cold solve %s: status %d err %v", name, status, err)
+		}
+		coldSolves[name] = out
+	}
+	if err := warmRestartCheck(logger, g.snapDir, coldSolves); err != nil {
+		return fmt.Errorf("warm-restart: %w", err)
+	}
+	fmt.Printf("selfcheck %-24s %d %s\n", "warm-restart", http.StatusOK, "snapshot boot served both kinds bit-identically, no compile spans")
+
+	tail := []selfcheckStep{
+		{"unregister", http.MethodDelete, "/v1/instances/smoke-eu", nil, http.StatusOK},
+		{"solve-after-unregister", http.MethodPost, "/v1/solve", jsonBody(`{"instance":"smoke-eu","k":3}`), http.StatusNotFound},
+	}
+	if err := runSteps(tail); err != nil {
+		return err
+	}
 	fmt.Println("selfcheck: ok")
+	return nil
+}
+
+// selfcheckStep is one smoke-path request and its expected status.
+type selfcheckStep struct {
+	name, method, path string
+	body               io.Reader
+	wantStatus         int
+}
+
+// solveBodies are the deterministic solve requests compared across the cold
+// gateway and the warm-restarted one.
+var solveBodies = map[string]string{
+	"smoke-eu":  `{"instance":"smoke-eu","k":3}`,
+	"smoke-fin": `{"instance":"smoke-fin","k":2}`,
+}
+
+func postJSON(client *http.Client, url, body string) ([]byte, int, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return out, resp.StatusCode, err
+}
+
+// withoutStats parses a workload response and drops the per-request "stats"
+// block — shard/latency telemetry legitimately differs across processes;
+// everything else must not.
+func withoutStats(raw []byte) (map[string]any, error) {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	delete(m, "stats")
+	return m, nil
+}
+
+// warmRestartCheck boots a fresh gateway against snapDir — the restart path
+// of a production ukserver — and asserts the acceptance criteria: both
+// frozen instances are listed under their kinds, their solves match the
+// cold gateway's byte-for-byte (minus stats), the tracer never saw a
+// "compile.*" span (and demonstrably saw the solves: cache-build spans
+// fired), and the mapped-bytes gauge is exported.
+func warmRestartCheck(logger *slog.Logger, snapDir string, coldSolves map[string][]byte) error {
+	rec := &obs.Recorder{}
+	warm, err := newGateway(1, rec, snapDir)
+	if err != nil {
+		return fmt.Errorf("booting from %s: %w", snapDir, err)
+	}
+	defer warm.close()
+	if k := warm.kindOf("smoke-eu"); k != dataio.KindEuclidean {
+		return fmt.Errorf("smoke-eu kind after warm start = %q, want %q", k, dataio.KindEuclidean)
+	}
+	if k := warm.kindOf("smoke-fin"); k != dataio.KindFinite {
+		return fmt.Errorf("smoke-fin kind after warm start = %q, want %q", k, dataio.KindFinite)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: warm.handler(false, logger)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	for _, name := range []string{"smoke-eu", "smoke-fin"} {
+		out, status, err := postJSON(client, base+"/v1/solve", solveBodies[name])
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("warm solve %s: status %d err %v", name, status, err)
+		}
+		cold, err := withoutStats(coldSolves[name])
+		if err != nil {
+			return fmt.Errorf("cold solve %s: %w", name, err)
+		}
+		warmOut, err := withoutStats(out)
+		if err != nil {
+			return fmt.Errorf("warm solve %s: %w", name, err)
+		}
+		if !reflect.DeepEqual(cold, warmOut) {
+			return fmt.Errorf("solve %s diverges after warm restart:\ncold %v\nwarm %v", name, cold, warmOut)
+		}
+	}
+
+	// The point of the snapshot path: the warm gateway never compiled. The
+	// build spans prove the assertion is not vacuous — the tracer watched
+	// the solves happen.
+	var sawBuild bool
+	for _, sp := range rec.Spans() {
+		if strings.HasPrefix(sp.Name, "compile.") {
+			return fmt.Errorf("compile span %q fired on the warm gateway", sp.Name)
+		}
+		if strings.HasPrefix(sp.Name, "surrogate.build") || sp.Name == "evaluator.build" {
+			sawBuild = true
+		}
+	}
+	if !sawBuild {
+		return fmt.Errorf("warm gateway's tracer saw no cache-build spans — the no-compile assertion is vacuous")
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	series, err := parsePromText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("parsing warm exposition: %w", err)
+	}
+	mapped := series["ukc_store_mapped_bytes"]
+	if len(mapped) != 1 {
+		return fmt.Errorf("ukc_store_mapped_bytes series count = %d, want 1", len(mapped))
+	}
+	if want := float64(store.MappedBytes()); mapped[0].value != want || (store.MmapAvailable() && want <= 0) {
+		return fmt.Errorf("ukc_store_mapped_bytes = %v (store reports %v, mmap available %v)", mapped[0].value, want, store.MmapAvailable())
+	}
 	return nil
 }
 

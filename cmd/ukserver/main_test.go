@@ -17,7 +17,7 @@ import (
 // TestSelfcheck runs the full CI smoke path in-process: every endpoint,
 // both instance kinds, over real HTTP on a loopback port.
 func TestSelfcheck(t *testing.T) {
-	gw, err := newGateway(1, nil)
+	gw, err := newGateway(1, nil, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestSelfcheck(t *testing.T) {
 }
 
 func TestHTTPStatusMapping(t *testing.T) {
-	gw, err := newGateway(1, nil)
+	gw, err := newGateway(1, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,5 +88,36 @@ func TestHTTPStatusMapping(t *testing.T) {
 	}
 	if resp := do(http.MethodDelete, "/v1/instances/zzz", ""); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unregister unknown: %d, want 404", resp.StatusCode)
+	}
+	// Freezing without a snapshot directory is a configuration conflict, not
+	// a not-found: the instance exists, the server just has nowhere to put it.
+	if resp := do(http.MethodPost, "/v1/instances/a/freeze", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("freeze without snapshot dir: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestFreezeNameSanitization pins that a percent-encoded path separator in
+// the instance name cannot direct the snapshot outside the directory.
+func TestFreezeNameSanitization(t *testing.T) {
+	gw, err := newGateway(1, nil, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+	ts := httptest.NewServer(gw.mux())
+	defer ts.Close()
+	for _, name := range []string{"%2e%2e", "..%2fescape", "a%2fb"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/instances/"+name+"/freeze", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("freeze %q: %d, want 400", name, resp.StatusCode)
+		}
 	}
 }

@@ -1,0 +1,362 @@
+// Package arena is the binary snapshot codec behind the public store
+// package: a versioned on-disk format that maps 1:1 onto the compiled
+// instance arena (internal/core.Compiled), so opening a snapshot is a
+// bounds/CRC validation plus slice reinterpretation — no per-atom decode,
+// no recompilation.
+//
+// # File layout (version 1, little-endian)
+//
+//	offset  size  field
+//	0       8     magic "UKCSNAP\0"
+//	8       4     version (uint32, currently 1)
+//	12      4     endianness marker (uint32 0x0A0B0C0D, written natively)
+//	16      4     kind (1 = euclidean, 2 = finite)
+//	20      4     flags (bit 0: explicit candidate set present;
+//	              bit 1: allLocs aliases the locs column — nothing pruned)
+//	24      8     n       — number of uncertain points
+//	32      8     atoms   — N = Σ_i z_i after zero-probability pruning
+//	40      8     dim     — coordinate dimension (euclidean; 0 for finite)
+//	48      8     maxZ    — max support size over the pruned points
+//	56      8     nCands  — explicit candidate count (0 without bit 0)
+//	64      8     nAll    — allLocs count (0 with bit 1 set)
+//	72      8     spaceN  — finite-space vertex count (0 for euclidean)
+//	80      128   section table: 8 × (offset uint64, length uint64)
+//	208     4     payload CRC-32C over file[216:]
+//	212     4     header CRC-32C over file[0:212]
+//	216     ...   payload: the sections, each 8-byte aligned
+//
+// Sections, in file order: locs, probs, offsets, ptIdx, allLocs, cands,
+// metric, reserved. Column encodings: locations are float64 coordinate
+// rows (euclidean, atoms×dim) or int64 vertex indices (finite); probs is
+// float64[atoms]; offsets is int32[n+1]; ptIdx is int32[atoms]; allLocs
+// and cands use the location encoding; metric is the finite space's
+// float64[spaceN][spaceN] distance matrix. Sections are padded to 8-byte
+// boundaries (the recorded length is the unpadded data length), so every
+// column can be reinterpreted in place on any 64-bit platform. The
+// reserved section is empty in version 1; freezing the memoized surrogate
+// columns is the planned use, and occupying it bumps the version.
+//
+// The section table is redundant — the layout is fully determined by the
+// header counts — and the decoder exploits that: it recomputes the
+// expected table and requires byte equality, so no crafted table can make
+// two sections overlap or escape the file.
+//
+// The format is little-endian only (every supported platform is);
+// big-endian hosts are rejected at both ends with ErrEndianness rather
+// than silently reinterpreting foreign bytes.
+package arena
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+	"unsafe"
+
+	"repro/obs"
+)
+
+// Magic is the 8-byte file signature every snapshot starts with.
+const Magic = "UKCSNAP\x00"
+
+// Version is the current snapshot format version. Any change to the byte
+// layout — including occupying the reserved section — must bump it; the
+// committed golden fixtures (store/testdata/golden_v1_*.ukc) enforce that
+// older bytes keep opening or fail with ErrVersion, never misparse.
+const Version = 1
+
+// Instance kinds, mirroring internal/dataio.
+const (
+	KindEuclidean = 1
+	KindFinite    = 2
+)
+
+// header flag bits.
+const (
+	flagCands         = 1 << 0 // explicit candidate set stored
+	flagAllLocsInline = 1 << 1 // allLocs aliases the locs column (nothing pruned)
+)
+
+const (
+	headerSize  = 216
+	endianMark  = 0x0A0B0C0D
+	crcOffset   = 208 // payload CRC field
+	hdrCRCStart = 212 // header CRC field; header CRC covers [0, hdrCRCStart)
+)
+
+// Section indices of the table, in file order.
+const (
+	secLocs = iota
+	secProbs
+	secOffsets
+	secPtIdx
+	secAllLocs
+	secCands
+	secMetric
+	secReserved
+	numSections
+)
+
+// Typed decode errors; Open failures wrap exactly one of these, so callers
+// (and the fuzz target) can classify every rejection with errors.Is.
+var (
+	// ErrMagic marks a file that is not a ukc snapshot at all.
+	ErrMagic = errors.New("arena: bad magic (not a ukc snapshot)")
+	// ErrVersion marks a snapshot written by an unknown format version.
+	ErrVersion = errors.New("arena: unsupported snapshot version")
+	// ErrEndianness marks a byte-order mismatch between file and host.
+	ErrEndianness = errors.New("arena: endianness mismatch")
+	// ErrTruncated marks a file shorter than its own layout requires.
+	ErrTruncated = errors.New("arena: truncated snapshot")
+	// ErrChecksum marks a header or payload CRC failure.
+	ErrChecksum = errors.New("arena: checksum mismatch")
+	// ErrLayout marks a section table that disagrees with the header
+	// counts (overlapping, misaligned or out-of-bounds sections can only
+	// arise this way — the decoder recomputes the canonical table).
+	ErrLayout = errors.New("arena: section table disagrees with header")
+	// ErrCorrupt marks semantically invalid column data: non-monotone
+	// offsets, probabilities that are not a distribution, out-of-range
+	// vertices, non-finite coordinates, a broken metric matrix.
+	ErrCorrupt = errors.New("arena: corrupt snapshot data")
+)
+
+// castagnoli is the CRC-32C table both CRCs use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// nativeLittle reports whether the host is little-endian; the format (and
+// its zero-copy reinterpretation) requires it.
+var nativeLittle = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// mapped is the process-wide gauge of snapshot bytes currently mmap'd;
+// cmd/ukserver exports it as ukc_store_mapped_bytes.
+var mapped obs.Gauge
+
+// MappedBytes returns the total bytes of snapshot files currently mapped
+// into the process (mmap backend only; the portable read fallback holds
+// its bytes on the Go heap and is not counted here).
+func MappedBytes() int64 { return mapped.Load() }
+
+// MmapSupported reports whether this build has a zero-copy mapping backend
+// (it does on linux); without one Open always uses the aligned-read
+// fallback and MappedBytes stays zero.
+func MmapSupported() bool { return mmapSupported }
+
+// header is the decoded fixed-size snapshot header.
+type header struct {
+	version uint32
+	kind    uint32
+	flags   uint32
+	n       uint64
+	atoms   uint64
+	dim     uint64
+	maxZ    uint64
+	nCands  uint64
+	nAll    uint64
+	spaceN  uint64
+	sec     [numSections]section
+}
+
+type section struct{ off, len uint64 }
+
+// locBytes returns the encoded size of count locations under the header's
+// kind (float64 coordinate rows for euclidean, int64 vertices for finite).
+func (h *header) locBytes(count uint64) (uint64, bool) {
+	if h.kind == KindEuclidean {
+		return mulChain(count, h.dim, 8)
+	}
+	return mulChain(count, 1, 8)
+}
+
+// layout computes the canonical section table and total file size implied
+// by the header counts, with overflow checks throughout. It is the single
+// source of truth for both the writer (which lays sections out with it)
+// and the reader (which requires the stored table to match it exactly).
+func (h *header) layout() (total uint64, err error) {
+	allCount := h.nAll
+	if h.flags&flagAllLocsInline != 0 {
+		allCount = 0
+	}
+	candCount := uint64(0)
+	if h.flags&flagCands != 0 {
+		candCount = h.nCands
+	}
+	metricBytes := uint64(0)
+	if h.kind == KindFinite {
+		var ok bool
+		if metricBytes, ok = mulChain(h.spaceN, h.spaceN, 8); !ok {
+			return 0, fmt.Errorf("%w: metric size overflows", ErrLayout)
+		}
+	}
+	var sizes [numSections]uint64
+	var ok bool
+	if sizes[secLocs], ok = h.locBytes(h.atoms); !ok {
+		return 0, fmt.Errorf("%w: locs size overflows", ErrLayout)
+	}
+	if sizes[secProbs], ok = mulChain(h.atoms, 1, 8); !ok {
+		return 0, fmt.Errorf("%w: probs size overflows", ErrLayout)
+	}
+	if sizes[secOffsets], ok = mulChain(h.n+1, 1, 4); !ok || h.n+1 < h.n {
+		return 0, fmt.Errorf("%w: offsets size overflows", ErrLayout)
+	}
+	if sizes[secPtIdx], ok = mulChain(h.atoms, 1, 4); !ok {
+		return 0, fmt.Errorf("%w: ptIdx size overflows", ErrLayout)
+	}
+	if sizes[secAllLocs], ok = h.locBytes(allCount); !ok {
+		return 0, fmt.Errorf("%w: allLocs size overflows", ErrLayout)
+	}
+	if sizes[secCands], ok = h.locBytes(candCount); !ok {
+		return 0, fmt.Errorf("%w: cands size overflows", ErrLayout)
+	}
+	sizes[secMetric] = metricBytes
+	sizes[secReserved] = 0
+
+	off := uint64(headerSize)
+	for i := range sizes {
+		h.sec[i] = section{off: off, len: sizes[i]}
+		padded := pad8(sizes[i])
+		if padded < sizes[i] {
+			return 0, fmt.Errorf("%w: section %d padding overflows", ErrLayout, i)
+		}
+		next := off + padded
+		if next < off || next > 1<<62 {
+			return 0, fmt.Errorf("%w: file size overflows", ErrLayout)
+		}
+		off = next
+	}
+	return off, nil
+}
+
+// encode serializes the header (with both CRC fields) into a fresh
+// headerSize buffer; payloadCRC must already be computed over the payload
+// bytes the writer produced.
+func (h *header) encode(payloadCRC uint32) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, Magic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], h.version)
+	le.PutUint32(buf[12:], endianMark)
+	le.PutUint32(buf[16:], h.kind)
+	le.PutUint32(buf[20:], h.flags)
+	le.PutUint64(buf[24:], h.n)
+	le.PutUint64(buf[32:], h.atoms)
+	le.PutUint64(buf[40:], h.dim)
+	le.PutUint64(buf[48:], h.maxZ)
+	le.PutUint64(buf[56:], h.nCands)
+	le.PutUint64(buf[64:], h.nAll)
+	le.PutUint64(buf[72:], h.spaceN)
+	for i, s := range h.sec {
+		le.PutUint64(buf[80+16*i:], s.off)
+		le.PutUint64(buf[80+16*i+8:], s.len)
+	}
+	le.PutUint32(buf[crcOffset:], payloadCRC)
+	le.PutUint32(buf[hdrCRCStart:], crc32.Checksum(buf[:hdrCRCStart], castagnoli))
+	return buf
+}
+
+// decodeHeader parses and verifies the fixed header: magic, version,
+// endianness, header CRC. It does NOT verify the section table against the
+// layout or the payload CRC — Open layers those.
+func decodeHeader(buf []byte) (*header, uint32, error) {
+	if len(buf) < headerSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(buf), headerSize)
+	}
+	if string(buf[:8]) != Magic {
+		return nil, 0, ErrMagic
+	}
+	le := binary.LittleEndian
+	h := &header{version: le.Uint32(buf[8:])}
+	if h.version != Version {
+		return nil, 0, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, h.version, Version)
+	}
+	if le.Uint32(buf[12:]) != endianMark || !nativeLittle {
+		return nil, 0, ErrEndianness
+	}
+	if got, want := crc32.Checksum(buf[:hdrCRCStart], castagnoli), le.Uint32(buf[hdrCRCStart:]); got != want {
+		return nil, 0, fmt.Errorf("%w: header CRC %08x, want %08x", ErrChecksum, got, want)
+	}
+	h.kind = le.Uint32(buf[16:])
+	h.flags = le.Uint32(buf[20:])
+	h.n = le.Uint64(buf[24:])
+	h.atoms = le.Uint64(buf[32:])
+	h.dim = le.Uint64(buf[40:])
+	h.maxZ = le.Uint64(buf[48:])
+	h.nCands = le.Uint64(buf[56:])
+	h.nAll = le.Uint64(buf[64:])
+	h.spaceN = le.Uint64(buf[72:])
+	for i := range h.sec {
+		h.sec[i] = section{off: le.Uint64(buf[80+16*i:]), len: le.Uint64(buf[80+16*i+8:])}
+	}
+	return h, le.Uint32(buf[crcOffset:]), nil
+}
+
+// pad8 rounds n up to the next multiple of 8.
+func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// mulChain returns a·b·c, reporting overflow.
+func mulChain(a, b, c uint64) (uint64, bool) {
+	hi, p := bits.Mul64(a, b)
+	if hi != 0 {
+		return 0, false
+	}
+	hi, p = bits.Mul64(p, c)
+	if hi != 0 {
+		return 0, false
+	}
+	return p, true
+}
+
+// The zero-copy reinterpretation helpers. Every caller has already proved
+// the slice lies on an 8-byte boundary (sections are 8-aligned within the
+// file, the mmap base is page-aligned, and the heap fallback allocates a
+// word-aligned buffer), but each helper re-checks and fails typed rather
+// than aliasing a misaligned region.
+
+func alignErr(what string) error {
+	return fmt.Errorf("%w: %s column is not 8-byte aligned", ErrLayout, what)
+}
+
+// f64s reinterprets b as a []float64 of n elements.
+func f64s(b []byte, n int, what string) ([]float64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(b) < 8*n {
+		return nil, fmt.Errorf("%w: %s column short", ErrTruncated, what)
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, alignErr(what)
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), nil
+}
+
+// i32s reinterprets b as a []int32 of n elements.
+func i32s(b []byte, n int, what string) ([]int32, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(b) < 4*n {
+		return nil, fmt.Errorf("%w: %s column short", ErrTruncated, what)
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return nil, alignErr(what)
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+}
+
+// i64s reinterprets b as a []int64 of n elements.
+func i64s(b []byte, n int, what string) ([]int64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(b) < 8*n {
+		return nil, fmt.Errorf("%w: %s column short", ErrTruncated, what)
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return nil, alignErr(what)
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n), nil
+}

@@ -1,0 +1,26 @@
+//go:build linux
+
+package arena
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported selects the zero-copy mapping backend at build time; the
+// module stays dependency-free by using raw syscall.Mmap rather than
+// golang.org/x/sys.
+const mmapSupported = true
+
+// mapFile maps the file read-only and private: the snapshot is immutable
+// by contract, and a private mapping guarantees our view cannot be changed
+// by another writer racing the open (post-validation flips would otherwise
+// bypass every CRC and bounds check).
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

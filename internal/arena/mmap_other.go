@@ -1,0 +1,18 @@
+//go:build !linux
+
+package arena
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported is false off linux: Open uses the portable word-aligned
+// heap read instead, with identical validation and aliasing semantics.
+const mmapSupported = false
+
+func mapFile(*os.File, int64) ([]byte, error) {
+	return nil, fmt.Errorf("arena: mmap not supported on this platform")
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,44 @@
+package dataio
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// OpenEuclideanSnapshot opens a Euclidean ".ukc" snapshot zero-copy: the
+// returned Compiled's arena aliases the snapshot bytes, and the returned
+// closer releases the mapping — call it only once the instance is no
+// longer in use. The binary counterpart of ReadEuclideanCompiled: same
+// result, no decode and no recompilation.
+func OpenEuclideanSnapshot(ctx context.Context, path string) (*core.Compiled[geom.Vec], io.Closer, error) {
+	f, err := arena.Open(ctx, path, arena.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := f.Euclidean()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return c, f, nil
+}
+
+// OpenFiniteSnapshot is OpenEuclideanSnapshot for finite-kind snapshots;
+// the metric space is recovered from the snapshot's embedded distance
+// matrix and reachable via the instance's Space().
+func OpenFiniteSnapshot(ctx context.Context, path string) (*core.Compiled[int], io.Closer, error) {
+	f, err := arena.Open(ctx, path, arena.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := f.Finite()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return c, f, nil
+}

@@ -11,11 +11,12 @@ import (
 // worker per shard, a 64-request queue per shard, no cache budget
 // (eviction off) and no default deadline.
 type config struct {
-	shards     int
-	workers    int
-	queueDepth int
-	budget     int64
-	deadline   time.Duration
+	shards      int
+	workers     int
+	queueDepth  int
+	budget      int64
+	deadline    time.Duration
+	snapshotDir string
 }
 
 func defaultConfig() config {
@@ -78,6 +79,18 @@ func WithQueueDepth(d int) Option {
 // next request instead of failing.
 func WithCacheBudget(bytes int64) Option {
 	return func(c *config) { c.budget = bytes }
+}
+
+// WithSnapshotDir warm-starts the server from a snapshot directory: every
+// "*.ukc" file in dir is opened zero-copy at New and registered under its
+// base name, so previously frozen instances serve their first request
+// without recompiling anything (the restart path behind cmd/ukserver's
+// -snapshot-dir). Snapshots of the other instance kind are skipped — a
+// gateway runs one typed server per kind over a shared directory — but any
+// corrupt or unreadable snapshot fails New rather than booting partially.
+// Empty (the default) disables the scan.
+func WithSnapshotDir(dir string) Option {
+	return func(c *config) { c.snapshotDir = dir }
 }
 
 // WithDefaultDeadline sets the per-request deadline applied when a request

@@ -47,6 +47,7 @@ import (
 	ukc "repro"
 	"repro/internal/lru"
 	"repro/obs"
+	"repro/store"
 )
 
 // ErrOverloaded is returned when the target shard's request queue is full:
@@ -72,6 +73,7 @@ type entry[P any] struct {
 	name     string
 	inst     ukc.Instance[P]
 	c        *ukc.Compiled[P]
+	snap     *store.Snapshot // non-nil when c aliases a mapped snapshot
 	bytes    int64
 	buildDur *obs.Histogram
 	tracer   obs.Tracer
@@ -164,6 +166,12 @@ func New[P any](solver *ukc.Solver[P], opts ...Option) (*Server[P], error) {
 			go s.worker(sh)
 		}
 	}
+	if cfg.snapshotDir != "" {
+		if err := s.warmStart(cfg.snapshotDir); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -203,6 +211,13 @@ func (s *Server[P]) Register(ctx context.Context, name string, inst ukc.Instance
 	if err != nil {
 		return fmt.Errorf("serve: compiling %q: %w", name, err)
 	}
+	return s.addEntry(name, c, nil)
+}
+
+// addEntry inserts a compiled model into its shard under name — the shared
+// tail of Register (compile path) and RegisterSnapshot (zero-copy path,
+// which passes the snapshot whose bytes the model aliases).
+func (s *Server[P]) addEntry(name string, c *ukc.Compiled[P], snap *store.Snapshot) error {
 	pinned, err := ukc.InstanceOf(c)
 	if err != nil {
 		return err
@@ -213,7 +228,7 @@ func (s *Server[P]) Register(ctx context.Context, name string, inst ukc.Instance
 		sh.mu.Unlock()
 		return fmt.Errorf("serve: instance %q already registered", name)
 	}
-	ent := &entry[P]{name: name, inst: pinned, c: c, bytes: c.CacheBytes(), buildDur: obs.NewHistogram(obs.DurationBuckets()...)}
+	ent := &entry[P]{name: name, inst: pinned, c: c, snap: snap, bytes: c.CacheBytes(), buildDur: obs.NewHistogram(obs.DurationBuckets()...)}
 	ent.tracer = entryTracer[P]{ent}
 	sh.entries[name] = ent
 	sh.cacheBytes += ent.bytes

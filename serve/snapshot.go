@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	ukc "repro"
+	"repro/store"
+)
+
+// SnapshotExt is the filename extension warm-start scans look for.
+const SnapshotExt = store.SnapshotExt
+
+// ErrSnapshotKind is wrapped by RegisterSnapshot when the snapshot's
+// instance kind does not match the server's point type P — a euclidean
+// snapshot offered to a Server[int], or vice versa. Warm-start directory
+// scans skip these silently: a gateway running one typed server per kind
+// over a shared snapshot directory expects each server to claim only its
+// own files.
+var ErrSnapshotKind = errors.New("serve: snapshot kind does not match the server's point type")
+
+// RegisterSnapshot opens the snapshot at path zero-copy and registers its
+// compiled instance under name: no JSON decode, no validation of
+// individual atoms, no recompilation — the instance serves its first
+// request straight off the mapped arena, rebuilding only the memoized
+// caches lazily (bit-identically to a cold compile). The snapshot's
+// mapping stays open for the server process's lifetime; Unregister removes
+// the instance from the registry but never unmaps, because in-flight and
+// Get-held references alias the mapped bytes.
+func (s *Server[P]) RegisterSnapshot(ctx context.Context, name, path string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty instance name")
+	}
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	snap, err := store.Open(ctx, path)
+	if err != nil {
+		return fmt.Errorf("serve: opening snapshot for %q: %w", name, err)
+	}
+	c, ok := snap.Compiled().(*ukc.Compiled[P])
+	if !ok {
+		kind := snap.Kind()
+		snap.Close()
+		return fmt.Errorf("%w: %s is a %s snapshot", ErrSnapshotKind, path, kind)
+	}
+	if err := s.addEntry(name, c, snap); err != nil {
+		// Leave other-error snapshots mapped only on success; a duplicate
+		// name must not leak a mapping.
+		snap.Close()
+		return err
+	}
+	return nil
+}
+
+// warmStart re-registers every snapshot in dir (sorted, so the scan order
+// — and therefore shard accounting — is deterministic): each "*.ukc" file
+// becomes an instance named after its base name. Snapshots of the other
+// kind are skipped (see ErrSnapshotKind); any other failure aborts the
+// boot — a corrupt snapshot in the warm-start set is a deployment error,
+// not something to serve around silently.
+func (s *Server[P]) warmStart(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt))
+	if err != nil {
+		return fmt.Errorf("serve: scanning snapshot dir: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), SnapshotExt)
+		if err := s.RegisterSnapshot(context.Background(), name, p); err != nil {
+			if errors.Is(err, ErrSnapshotKind) {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}

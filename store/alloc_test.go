@@ -1,0 +1,76 @@
+package store_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	ukc "repro"
+	"repro/internal/gen"
+	"repro/store"
+)
+
+// TestOpenAllocsConstant pins the zero-copy guarantee the whole store
+// exists for: Open performs no per-atom (or per-point) allocation. The
+// arena columns are reinterpreted in place, so the allocation COUNT of an
+// open is a constant — a 10× larger instance opens with exactly as many
+// allocations as a small one, on both the mmap and the aligned-read
+// backend. Any per-atom decode loop creeping into the open path breaks
+// this immediately.
+func TestOpenAllocsConstant(t *testing.T) {
+	ctx := context.Background()
+	freeze := func(points, clusters int) string {
+		rng := rand.New(rand.NewSource(int64(points)))
+		pts, err := gen.GaussianClusters(rng, points, 4, 3, clusters, 2.0, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ukc.NewEuclideanInstance(pts).Compile(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("n%d.ukc", points))
+		if _, err := store.Write(ctx, path, c); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	small := freeze(40, 3)
+	big := freeze(400, 5) // 10× the points, ~10× the atoms
+
+	measure := func(path string, opts ...store.OpenOption) float64 {
+		return testing.AllocsPerRun(10, func() {
+			snap, err := store.Open(ctx, path, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := snap.Euclidean(); err != nil {
+				t.Fatal(err)
+			}
+			if err := snap.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	backends := []struct {
+		name string
+		opts []store.OpenOption
+	}{
+		{"mmap", nil},
+		{"nommap", []store.OpenOption{store.NoMmap()}},
+	}
+	for _, b := range backends {
+		if b.name == "mmap" && !store.MmapAvailable() {
+			continue
+		}
+		smallAllocs := measure(small, b.opts...)
+		bigAllocs := measure(big, b.opts...)
+		t.Logf("%s backend: %.0f allocs small, %.0f allocs big", b.name, smallAllocs, bigAllocs)
+		if smallAllocs != bigAllocs {
+			t.Errorf("%s backend: open allocations scale with instance size (%.0f small vs %.0f big) — a per-atom decode entered the open path", b.name, smallAllocs, bigAllocs)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	ukc "repro"
+	"repro/internal/gen"
+	"repro/internal/graphmetric"
+	"repro/store"
+)
+
+// The committed golden fixtures pin the snapshot format on disk: Write is
+// deterministic, so any change to the byte layout shows up as a fixture
+// mismatch here — and the only legitimate response is to bump the format
+// version and regenerate with
+//
+//	go test ./store -run TestGolden -update-golden
+//
+// Silently reshaping the format under an unchanged version byte would make
+// existing snapshots decode as garbage (or, worse, as plausible wrong
+// data); this test makes that a loud CI failure instead.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot fixtures under testdata/")
+
+// goldenEuclidean and goldenFinite rebuild the exact instances the fixtures
+// were frozen from (math/rand's sequence for a fixed seed is stable by
+// compatibility promise).
+func goldenEuclidean(t testing.TB) *ukc.Compiled[ukc.Vec] {
+	rng := rand.New(rand.NewSource(1234))
+	pts, err := gen.GaussianClusters(rng, 24, 3, 2, 3, 2.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ukc.NewEuclideanInstance(pts).Compile(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func goldenFinite(t testing.TB) *ukc.Compiled[int] {
+	rng := rand.New(rand.NewSource(4321))
+	g, _, err := graphmetric.RandomGeometric(18, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := g.Metric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := gen.OnVerticesLocal(rng, space, 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ukc.NewFiniteInstance(space, pts, nil).Compile(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+func checkGolden[P any](t *testing.T, fixture string, c *ukc.Compiled[P], k int) {
+	ctx := context.Background()
+	fresh := filepath.Join(t.TempDir(), "fresh.ukc")
+	if _, err := store.Write(ctx, fresh, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	freshBytes, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(fixture), freshBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath(fixture), len(freshBytes))
+	}
+
+	goldenBytes, err := os.ReadFile(goldenPath(fixture))
+	if err != nil {
+		t.Fatalf("reading fixture (regenerate with -update-golden): %v", err)
+	}
+	// The version stamped in the fixture header must be the version this
+	// build writes — a fixture surviving from an older format would make
+	// the byte comparison below meaningless.
+	if v := binary.LittleEndian.Uint32(goldenBytes[8:12]); v != store.Version {
+		t.Fatalf("fixture %s carries format version %d, build writes %d: regenerate with -update-golden", fixture, v, store.Version)
+	}
+	if !bytes.Equal(freshBytes, goldenBytes) {
+		t.Fatalf("freezing the reference instance no longer reproduces %s byte-for-byte: "+
+			"the snapshot format changed. Bump the format version (internal/arena Version) "+
+			"and regenerate the fixtures with -update-golden", fixture)
+	}
+
+	// The committed bytes must still open and solve identically to the
+	// in-memory instance — the compatibility contract v1 readers owe every
+	// snapshot already on disk.
+	snap, err := store.Open(ctx, goldenPath(fixture))
+	if err != nil {
+		t.Fatalf("opening fixture: %v", err)
+	}
+	defer snap.Close()
+	frozen, ok := snap.Compiled().(*ukc.Compiled[P])
+	if !ok {
+		t.Fatalf("fixture %s decoded under kind %s", fixture, snap.Kind())
+	}
+	solver := ukc.NewSolver[P]()
+	memInst, err := ukc.InstanceOf(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapInst, err := ukc.InstanceOf(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.Solve(ctx, memInst, k)
+	if err != nil {
+		t.Fatalf("Solve(mem): %v", err)
+	}
+	got, err := solver.Solve(ctx, snapInst, k)
+	if err != nil {
+		t.Fatalf("Solve(fixture): %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("fixture solve diverges from the in-memory instance:\nmem     %+v\nfixture %+v", want, got)
+	}
+}
+
+func TestGoldenEuclidean(t *testing.T) {
+	checkGolden(t, "golden_v1_euclidean.ukc", goldenEuclidean(t), 3)
+}
+
+func TestGoldenFinite(t *testing.T) {
+	checkGolden(t, "golden_v1_finite.ukc", goldenFinite(t), 2)
+}

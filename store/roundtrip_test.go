@@ -1,0 +1,310 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	ukc "repro"
+	"repro/internal/gen"
+	"repro/internal/graphmetric"
+	"repro/obs"
+	"repro/store"
+)
+
+// freeze writes c to a fresh snapshot in a test temp dir and returns the
+// path.
+func freeze[P any](t *testing.T, c *ukc.Compiled[P]) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.ukc")
+	n, err := store.Write(context.Background(), path, c)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if n <= 0 {
+		t.Fatalf("Write returned size %d", n)
+	}
+	return path
+}
+
+// lsTrajectory extracts the local-search cost trajectory — every ls.iter
+// span's (iter, swaps, improvements, ecost-micros) tuple, in order — the
+// strongest observable sequence a solve emits: two solves with equal
+// trajectories made identical decisions at every descent step.
+func lsTrajectory(rec *obs.Recorder) [][4]int64 {
+	var out [][4]int64
+	for _, s := range rec.Named("ls.iter") {
+		var row [4]int64
+		for i, key := range []string{"iter", "swaps", "improvements", "ecost"} {
+			v, ok := s.Attr(key)
+			if !ok {
+				v = -1
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// compareWorkloads runs all five serving workloads (solve, assign, assigned
+// E-cost, E-cost sweep, unassigned local-search solve) against both
+// instances and requires bit-identical outputs, including the full
+// local-search trajectory.
+func compareWorkloads[P any](t *testing.T, mem, snap ukc.Instance[P], k, workers int) {
+	t.Helper()
+	ctx := context.Background()
+	memRec, snapRec := &obs.Recorder{}, &obs.Recorder{}
+	memSolver := ukc.NewSolver[P](ukc.WithParallelism(workers), ukc.WithMaxIter(25), ukc.WithTracer(memRec))
+	snapSolver := ukc.NewSolver[P](ukc.WithParallelism(workers), ukc.WithMaxIter(25), ukc.WithTracer(snapRec))
+
+	memRes, err := memSolver.Solve(ctx, mem, k)
+	if err != nil {
+		t.Fatalf("Solve(mem): %v", err)
+	}
+	snapRes, err := snapSolver.Solve(ctx, snap, k)
+	if err != nil {
+		t.Fatalf("Solve(snap): %v", err)
+	}
+	if !reflect.DeepEqual(memRes.Centers, snapRes.Centers) {
+		t.Fatalf("Solve centers diverge:\nmem  %v\nsnap %v", memRes.Centers, snapRes.Centers)
+	}
+	if !reflect.DeepEqual(memRes.Assign, snapRes.Assign) {
+		t.Fatalf("Solve assignment diverges:\nmem  %v\nsnap %v", memRes.Assign, snapRes.Assign)
+	}
+	if memRes.Ecost != snapRes.Ecost || memRes.EcostUnassigned != snapRes.EcostUnassigned {
+		t.Fatalf("Solve E-costs diverge: mem (%v, %v), snap (%v, %v)",
+			memRes.Ecost, memRes.EcostUnassigned, snapRes.Ecost, snapRes.EcostUnassigned)
+	}
+
+	memAssign, err := memSolver.Assign(ctx, mem, memRes.Centers)
+	if err != nil {
+		t.Fatalf("Assign(mem): %v", err)
+	}
+	snapAssign, err := snapSolver.Assign(ctx, snap, memRes.Centers)
+	if err != nil {
+		t.Fatalf("Assign(snap): %v", err)
+	}
+	if !reflect.DeepEqual(memAssign, snapAssign) {
+		t.Fatalf("Assign diverges:\nmem  %v\nsnap %v", memAssign, snapAssign)
+	}
+
+	memEcost, err := memSolver.Ecost(ctx, mem, memRes.Centers, memAssign)
+	if err != nil {
+		t.Fatalf("Ecost(mem): %v", err)
+	}
+	snapEcost, err := snapSolver.Ecost(ctx, snap, memRes.Centers, memAssign)
+	if err != nil {
+		t.Fatalf("Ecost(snap): %v", err)
+	}
+	if memEcost != snapEcost {
+		t.Fatalf("Ecost diverges: mem %v, snap %v", memEcost, snapEcost)
+	}
+
+	memSweep, memSnapped, err := memSolver.EcostSweep(ctx, mem, memRes.Centers)
+	if err != nil {
+		t.Fatalf("EcostSweep(mem): %v", err)
+	}
+	snapSweep, snapSnapped, err := snapSolver.EcostSweep(ctx, snap, memRes.Centers)
+	if err != nil {
+		t.Fatalf("EcostSweep(snap): %v", err)
+	}
+	if !reflect.DeepEqual(memSnapped, snapSnapped) {
+		t.Fatalf("EcostSweep snapping diverges:\nmem  %v\nsnap %v", memSnapped, snapSnapped)
+	}
+	if !reflect.DeepEqual(memSweep, snapSweep) {
+		t.Fatalf("EcostSweep matrices diverge")
+	}
+
+	memCtrs, memCost, err := memSolver.SolveUnassigned(ctx, mem, k)
+	if err != nil {
+		t.Fatalf("SolveUnassigned(mem): %v", err)
+	}
+	snapCtrs, snapCost, err := snapSolver.SolveUnassigned(ctx, snap, k)
+	if err != nil {
+		t.Fatalf("SolveUnassigned(snap): %v", err)
+	}
+	if !reflect.DeepEqual(memCtrs, snapCtrs) || memCost != snapCost {
+		t.Fatalf("SolveUnassigned diverges:\nmem  %v cost %v\nsnap %v cost %v", memCtrs, memCost, snapCtrs, snapCost)
+	}
+	memTraj, snapTraj := lsTrajectory(memRec), lsTrajectory(snapRec)
+	if len(memTraj) == 0 {
+		t.Fatalf("no ls.iter spans recorded — trajectory comparison is vacuous")
+	}
+	if !reflect.DeepEqual(memTraj, snapTraj) {
+		t.Fatalf("local-search trajectories diverge:\nmem  %v\nsnap %v", memTraj, snapTraj)
+	}
+}
+
+// euclideanCase builds one random Euclidean instance, freezes it and opens
+// it with the given backend, then compares all workloads at each worker
+// count. withCands additionally exercises the explicit-candidate section.
+func euclideanCase(t *testing.T, seed int64, withCands bool, opts ...store.OpenOption) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts, err := gen.GaussianClusters(rng, 40, 4, 3, 4, 2.0, 0.4)
+	if err != nil {
+		t.Fatalf("GaussianClusters: %v", err)
+	}
+	var mem ukc.Instance[ukc.Vec]
+	if withCands {
+		cands := make([]ukc.Vec, 0, 25)
+		for i := 0; i < 25; i++ {
+			cands = append(cands, pts[i%len(pts)].Locs[0])
+		}
+		mem = ukc.NewInstance[ukc.Vec](ukc.Euclidean{}, pts, cands)
+	} else {
+		mem = ukc.NewEuclideanInstance(pts)
+	}
+	c, err := mem.Compile(context.Background())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	path := freeze(t, c)
+	snap, err := store.Open(context.Background(), path, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	if snap.Kind() != store.KindEuclidean {
+		t.Fatalf("kind %q, want euclidean", snap.Kind())
+	}
+	inst, err := snap.EuclideanInstance()
+	if err != nil {
+		t.Fatalf("EuclideanInstance: %v", err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		compareWorkloads(t, mem, inst, 3, workers)
+	}
+}
+
+func TestRoundTripEuclidean(t *testing.T) {
+	euclideanCase(t, 1, false)
+}
+
+func TestRoundTripEuclideanNoMmap(t *testing.T) {
+	euclideanCase(t, 2, false, store.NoMmap())
+}
+
+func TestRoundTripEuclideanCandidates(t *testing.T) {
+	euclideanCase(t, 3, true)
+}
+
+// TestRoundTripEuclideanPruned exercises the allLocs section: an instance
+// with zero-probability atoms stores the unpruned location list separately,
+// and the snapshot must preserve it exactly (a p = 0 location is still a
+// legal center site for the discrete stages).
+func TestRoundTripEuclideanPruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base, err := gen.UniformBox(rng, 24, 3, 2, 10)
+	if err != nil {
+		t.Fatalf("UniformBox: %v", err)
+	}
+	pts := make([]ukc.Point, len(base))
+	for i, p := range base {
+		// Give every point one extra zero-probability location so pruning
+		// always fires and allLocs diverges from the arena.
+		locs := append(append([]ukc.Vec{}, p.Locs...), ukc.Vec{float64(i), -float64(i)})
+		probs := append(append([]float64{}, p.Probs...), 0)
+		pts[i] = ukc.Point{Locs: locs, Probs: probs}
+	}
+	mem := ukc.NewEuclideanInstance(pts)
+	c, err := mem.Compile(context.Background())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(c.CandidatesOrLocations()) == c.NumAtoms() {
+		t.Fatalf("test instance did not prune — allLocs section not exercised")
+	}
+	path := freeze(t, c)
+	snap, err := store.Open(context.Background(), path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	opened, err := snap.Euclidean()
+	if err != nil {
+		t.Fatalf("Euclidean: %v", err)
+	}
+	if !reflect.DeepEqual(c.CandidatesOrLocations(), opened.CandidatesOrLocations()) {
+		t.Fatalf("unpruned candidate locations diverge after round trip")
+	}
+	inst, err := snap.EuclideanInstance()
+	if err != nil {
+		t.Fatalf("EuclideanInstance: %v", err)
+	}
+	compareWorkloads(t, mem, inst, 3, 4)
+}
+
+func finiteCase(t *testing.T, seed int64, opts ...store.OpenOption) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, _, err := graphmetric.RandomGeometric(36, 0.45, rng)
+	if err != nil {
+		t.Fatalf("RandomGeometric: %v", err)
+	}
+	space, err := g.Metric()
+	if err != nil {
+		t.Fatalf("Metric: %v", err)
+	}
+	pts, err := gen.OnVerticesLocal(rng, space, 24, 3)
+	if err != nil {
+		t.Fatalf("OnVerticesLocal: %v", err)
+	}
+	mem := ukc.NewFiniteInstance(space, pts, nil)
+	c, err := mem.Compile(context.Background())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	path := freeze(t, c)
+	snap, err := store.Open(context.Background(), path, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	if snap.Kind() != store.KindFinite {
+		t.Fatalf("kind %q, want finite", snap.Kind())
+	}
+	inst, err := snap.FiniteInstance()
+	if err != nil {
+		t.Fatalf("FiniteInstance: %v", err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		compareWorkloads(t, mem, inst, 3, workers)
+	}
+}
+
+func TestRoundTripFinite(t *testing.T) {
+	finiteCase(t, 5)
+}
+
+func TestRoundTripFiniteNoMmap(t *testing.T) {
+	finiteCase(t, 6, store.NoMmap())
+}
+
+// TestWriteUnsupported pins the typed rejection of non-serializable spaces.
+func TestWriteUnsupported(t *testing.T) {
+	pts := []ukc.UncertainPoint[string]{{Locs: []string{"a"}, Probs: []float64{1}}}
+	space := ukc.Space[string](spaceFunc(func(a, b string) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	}))
+	inst := ukc.NewInstance[string](space, pts, []string{"a"})
+	c, err := inst.Compile(context.Background())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	_, err = store.Write(context.Background(), filepath.Join(t.TempDir(), "x.ukc"), c)
+	if !errors.Is(err, store.ErrUnsupported) {
+		t.Fatalf("Write error = %v, want ErrUnsupported", err)
+	}
+}
+
+type spaceFunc func(a, b string) float64
+
+func (f spaceFunc) Dist(a, b string) float64 { return f(a, b) }

@@ -1,0 +1,195 @@
+// Package store persists compiled uncertain k-center instances as
+// zero-copy snapshot files (".ukc"): a versioned binary format that maps
+// 1:1 onto the compiled atom arena, so opening a snapshot is a bounds/CRC
+// validation plus slice reinterpretation — no JSON decode, no per-atom
+// work, no recompilation. A server restarted against a snapshot directory
+// serves its first request without recompiling anything.
+//
+// Write freezes a compiled instance; Open maps (or, where mmap is
+// unavailable, reads into an aligned buffer) a snapshot and returns the
+// compiled instance whose arena aliases those bytes. The memoized caches
+// (surrogates, the swap evaluator) are not persisted: they rebuild lazily
+// on first use, deterministically, so a frozen-then-opened instance's
+// solves are bit-identical to the in-memory original.
+//
+// The format itself — layout, versioning, validation — lives in
+// internal/arena; this package is the typed public surface over it. See
+// DESIGN.md §9 for the byte-level diagram and compatibility policy.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	ukc "repro"
+	"repro/internal/arena"
+)
+
+// Version is the snapshot format version this build reads and writes.
+const Version = arena.Version
+
+// SnapshotExt is the conventional snapshot file extension; warm-start
+// directory scans (serve.WithSnapshotDir) look only at files carrying it.
+const SnapshotExt = ".ukc"
+
+// Typed open errors, re-exported from the codec so callers can classify
+// failures with errors.Is without importing internal packages.
+var (
+	ErrMagic      = arena.ErrMagic      // not a ukc snapshot at all
+	ErrVersion    = arena.ErrVersion    // written by an unknown format version
+	ErrEndianness = arena.ErrEndianness // byte-order mismatch with the host
+	ErrTruncated  = arena.ErrTruncated  // file shorter than its layout requires
+	ErrChecksum   = arena.ErrChecksum   // header or payload CRC failure
+	ErrLayout     = arena.ErrLayout     // section table disagrees with the header
+	ErrCorrupt    = arena.ErrCorrupt    // semantically invalid column data
+)
+
+// ErrUnsupported marks an instance whose space has no snapshot encoding:
+// only Euclidean instances (ukc.Euclidean{} over ukc.Vec) and finite-matrix
+// instances (*ukc.FiniteSpace over int) are serializable.
+var ErrUnsupported = errors.New("store: instance kind has no snapshot encoding")
+
+// Kind identifies a snapshot's instance kind, matching the dataio JSON
+// vocabulary.
+type Kind string
+
+// The two snapshot kinds.
+const (
+	KindEuclidean Kind = "euclidean"
+	KindFinite    Kind = "finite"
+)
+
+// Write freezes a compiled instance as a snapshot at path, returning the
+// file size. The write is atomic (temp file + rename), so a crash never
+// leaves a half-written snapshot behind; an existing snapshot at path is
+// replaced. Only Euclidean and finite-matrix instances are serializable —
+// anything else fails with ErrUnsupported. The tracer in ctx (obs.FromContext)
+// observes the write as a "store.write" span.
+func Write[P any](ctx context.Context, path string, c *ukc.Compiled[P]) (int64, error) {
+	switch cc := any(c).(type) {
+	case *ukc.Compiled[ukc.Vec]:
+		return arena.WriteEuclidean(ctx, path, cc)
+	case *ukc.Compiled[int]:
+		return arena.WriteFinite(ctx, path, cc)
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnsupported, c)
+	}
+}
+
+// openOptions collects Open's option state.
+type openOptions = arena.Options
+
+// OpenOption configures Open.
+type OpenOption func(*openOptions)
+
+// NoMmap forces the portable aligned-read backend even where mmap is
+// available. The bytes then live on the Go heap (counted by the runtime,
+// not by MappedBytes) instead of being demand-paged from the file.
+func NoMmap() OpenOption {
+	return func(o *openOptions) { o.NoMmap = true }
+}
+
+// SkipChecksum skips the payload CRC pass on open; the header CRC and all
+// structural and semantic validation still run. For trusted local files
+// where open latency matters more than bit-rot detection.
+func SkipChecksum() OpenOption {
+	return func(o *openOptions) { o.SkipChecksum = true }
+}
+
+// Snapshot is an opened snapshot file: the validated bytes plus the
+// compiled instance aliasing them. The Snapshot must stay open for as long
+// as the instance (or anything derived from it) is in use; servers keep
+// snapshots open for the process lifetime.
+type Snapshot struct {
+	f *arena.File
+}
+
+// Open validates the snapshot at path and reconstructs its compiled
+// instance zero-copy. Open performs no per-atom allocation or decode —
+// its cost is one validation sweep over the mapped bytes. Failures wrap
+// exactly one of the typed errors above; the tracer in ctx observes the
+// open as a "store.open" span.
+func Open(ctx context.Context, path string, opts ...OpenOption) (*Snapshot, error) {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f, err := arena.Open(ctx, path, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{f: f}, nil
+}
+
+// Kind returns the snapshot's instance kind.
+func (s *Snapshot) Kind() Kind { return Kind(s.f.KindName()) }
+
+// Bytes returns the snapshot file size — the resident cost of the arena
+// while the snapshot is open.
+func (s *Snapshot) Bytes() int64 { return s.f.Size() }
+
+// Mapped reports whether the bytes are mmap'd (versus heap-held by the
+// portable fallback).
+func (s *Snapshot) Mapped() bool { return s.f.Mapped() }
+
+// Euclidean returns the compiled Euclidean instance; it errors on a
+// finite-kind snapshot.
+func (s *Snapshot) Euclidean() (*ukc.Compiled[ukc.Vec], error) {
+	return s.f.Euclidean()
+}
+
+// Finite returns the compiled finite-metric instance; it errors on a
+// euclidean-kind snapshot.
+func (s *Snapshot) Finite() (*ukc.Compiled[int], error) {
+	return s.f.Finite()
+}
+
+// Compiled returns the compiled instance as an untyped value — a
+// *ukc.Compiled[ukc.Vec] or *ukc.Compiled[int] depending on Kind — for
+// callers generic over the point type (the serving layer's
+// RegisterSnapshot type-asserts it against its own P).
+func (s *Snapshot) Compiled() any {
+	if c, err := s.f.Euclidean(); err == nil {
+		return c
+	}
+	c, _ := s.f.Finite()
+	return c
+}
+
+// EuclideanInstance wraps the compiled Euclidean instance as a
+// ready-to-solve ukc.Instance whose compile cache is pre-populated: no
+// Solver method called on it ever re-validates or re-flattens.
+func (s *Snapshot) EuclideanInstance() (ukc.Instance[ukc.Vec], error) {
+	c, err := s.f.Euclidean()
+	if err != nil {
+		return ukc.Instance[ukc.Vec]{}, err
+	}
+	return ukc.InstanceOf(c)
+}
+
+// FiniteInstance is EuclideanInstance for finite-kind snapshots.
+func (s *Snapshot) FiniteInstance() (ukc.Instance[int], error) {
+	c, err := s.f.Finite()
+	if err != nil {
+		return ukc.Instance[int]{}, err
+	}
+	return ukc.InstanceOf(c)
+}
+
+// Close releases the mapping (or heap reference). The compiled instance
+// aliases the snapshot bytes, so Close must only be called once nothing
+// derived from this snapshot can run again; closing and then solving is a
+// use-after-free. Idempotent.
+func (s *Snapshot) Close() error { return s.f.Close() }
+
+// MappedBytes returns the total bytes of snapshot files currently mmap'd
+// into the process, across all open snapshots (the heap fallback is not
+// counted — the Go runtime already accounts for it). cmd/ukserver exports
+// this as the ukc_store_mapped_bytes gauge.
+func MappedBytes() int64 { return arena.MappedBytes() }
+
+// MmapAvailable reports whether this build maps snapshots zero-copy (linux)
+// or falls back to the portable aligned read everywhere. With no mmap
+// backend MappedBytes is always zero.
+func MmapAvailable() bool { return arena.MmapSupported() }

@@ -45,9 +45,12 @@
 package ukc
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 
+	"repro/internal/arena"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dataio"
@@ -262,6 +265,41 @@ func ReadCompiledFiniteInstance(r io.Reader) (Instance[int], error) {
 	_, c, err := dataio.ReadFiniteCompiled(r)
 	if err != nil {
 		return Instance[int]{}, err
+	}
+	return newCompiledInstance(c), nil
+}
+
+// OpenSnapshotInstance opens a Euclidean ".ukc" snapshot (written by
+// package store or cmd/ukfreeze) as a ready-to-solve Instance whose
+// compiled representation aliases the snapshot bytes zero-copy: no JSON
+// decode, no validation of individual atoms, no recompilation — open cost
+// is one bounds/CRC sweep. The underlying mapping stays open for the
+// process lifetime; use package store directly when the snapshot's
+// lifecycle must be managed explicitly.
+func OpenSnapshotInstance(path string) (Instance[Vec], error) {
+	f, err := arena.Open(context.Background(), path, arena.Options{})
+	if err != nil {
+		return Instance[Vec]{}, err
+	}
+	c, err := f.Euclidean()
+	if err != nil {
+		f.Close()
+		return Instance[Vec]{}, fmt.Errorf("ukc: %s: %w", path, err)
+	}
+	return newCompiledInstance(c), nil
+}
+
+// OpenSnapshotFiniteInstance is OpenSnapshotInstance for finite-kind
+// snapshots.
+func OpenSnapshotFiniteInstance(path string) (Instance[int], error) {
+	f, err := arena.Open(context.Background(), path, arena.Options{})
+	if err != nil {
+		return Instance[int]{}, err
+	}
+	c, err := f.Finite()
+	if err != nil {
+		f.Close()
+		return Instance[int]{}, fmt.Errorf("ukc: %s: %w", path, err)
 	}
 	return newCompiledInstance(c), nil
 }
