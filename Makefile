@@ -14,7 +14,7 @@ BENCH_OUT ?= BENCH_PR7.json
 # and the warm unassigned workload.
 SERVE_BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all vet fmt-check build test test-race bench bench-parallel bench-json bench-serve examples check ci
+.PHONY: all vet fmt-check build test test-race test-faults fuzz-arena bench bench-parallel bench-json bench-serve examples check ci
 
 all: check
 
@@ -34,6 +34,20 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# test-faults is the nightly fault-injection sweep under the race
+# detector: the seeded panic/error/latency soak through the serving layer,
+# the drain lifecycle and Close/Register race, the torn-write quarantine
+# torture test, and the client retry/circuit-breaker contract.
+test-faults:
+	$(GO) test -race -run 'Fault|Fire|Panic|Drain|Shutdown|Quarantine|TornWrite|CloseRegister|Breaker|Retry' \
+		./serve ./internal/faults ./client ./cmd/ukserver
+
+# fuzz-arena runs the snapshot decoder fuzzer for $(FUZZTIME): arbitrary
+# bytes through the full .ukc validation pipeline (nightly CI).
+FUZZTIME ?= 5m
+fuzz-arena:
+	$(GO) test -fuzz FuzzOpen -fuzztime $(FUZZTIME) -run '^$$' ./internal/arena
 
 # Full benchmark sweep (slow); bench-parallel records just the
 # sequential-vs-worker-pool trajectory (BENCH_*.json inputs).

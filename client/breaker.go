@@ -1,0 +1,104 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"repro/obs"
+)
+
+// Circuit-breaker states, exported on the obs gauge (see Client.BreakerGauge)
+// so operators can alert on an open circuit.
+const (
+	BreakerClosed   = 0 // requests flow; consecutive failures are counted
+	BreakerOpen     = 1 // requests fail fast with ErrCircuitOpen until the cooldown elapses
+	BreakerHalfOpen = 2 // one probe request is in flight; its outcome decides
+)
+
+// breaker is a per-host circuit breaker: closed → open after `threshold`
+// consecutive breaker-class failures (transport errors and 5xx responses
+// that indicate the host itself is unhealthy — see classify), open →
+// half-open after `cooldown`, half-open → closed on a successful probe or
+// back to open on a failed one. While half-open exactly one request is let
+// through; concurrent requests fail fast like open, so a recovering host
+// sees a single probe rather than a thundering herd.
+//
+// The clock is injected (the Client's now hook) so tests drive transitions
+// deterministically.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive breaker-class failures while closed
+	openedAt time.Time // when the breaker last opened
+	gauge    obs.Gauge // mirrors state for export
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+func (b *breaker) set(state int) {
+	b.state = state
+	b.gauge.Set(int64(state))
+}
+
+// allow reports whether a request may proceed. In the open state it flips to
+// half-open once the cooldown has elapsed, admitting the caller as the
+// single probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.set(BreakerHalfOpen)
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: the probe is already out
+		return false
+	}
+}
+
+// onSuccess records a non-breaker-class outcome: the host answered, so the
+// failure streak resets and a half-open probe closes the circuit.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state != BreakerClosed {
+		b.set(BreakerClosed)
+	}
+}
+
+// onFailure records a breaker-class failure: a failed half-open probe
+// reopens immediately; in closed state the streak counts toward the
+// threshold.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		b.set(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.set(BreakerOpen)
+		}
+	}
+}
+
+// current returns the state for tests and BreakerState.
+func (b *breaker) current() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

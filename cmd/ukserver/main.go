@@ -29,7 +29,20 @@
 //
 // Status mapping: 404 unknown instance, 409 duplicate registration, 422
 // invalid instance data, 429 shard queue full (ErrOverloaded — back off and
-// retry), 504 deadline exceeded.
+// retry), 500 a request that panicked inside the solver (the worker
+// survived; see serve.ErrPanicked), 503 draining or closed, 504 deadline
+// exceeded. 429 and draining-503 responses carry a Retry-After header — on
+// 429 derived from the live queue depth and the shard's observed execution
+// latency, so well-behaved clients (package client honors it) back off
+// exactly as long as the backlog warrants.
+//
+// Shutdown: SIGINT/SIGTERM stops the listener, then drains the serving
+// layer — admitted requests finish, new ones are rejected 503 — bounded by
+// -drain-timeout. With -freeze-on-shutdown (and a -snapshot-dir) a clean
+// drain freezes every instance so the next boot warm-starts. Corrupt
+// snapshots found at boot are quarantined (renamed *.ukc.quarantine),
+// counted and skipped rather than aborting startup; stale *.ukc.tmp files
+// from torn writes are swept.
 //
 // Persistence: -snapshot-dir names a directory of zero-copy snapshots
 // (package store). On boot every "*.ukc" file in it is opened — mmap'd, not
@@ -65,6 +78,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	ukc "repro"
@@ -100,6 +114,8 @@ func run() error {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		trace     = flag.Bool("trace", false, "log every solver span (debug level) via the ukc.WithTracer hook")
 		snapDir   = flag.String("snapshot-dir", "", "snapshot directory: warm-start from its *.ukc files and accept freeze requests into it (\"\" = off)")
+		drainT    = flag.Duration("drain-timeout", 10*time.Second, "bound on the shutdown drain; expired drains abort in-flight requests (0 = wait indefinitely)")
+		freezeOn  = flag.Bool("freeze-on-shutdown", false, "freeze every instance into -snapshot-dir after a clean drain")
 		selfcheck = flag.Bool("selfcheck", false, "boot on a loopback port, exercise every endpoint, exit")
 	)
 	flag.Parse()
@@ -121,6 +137,9 @@ func run() error {
 		serve.WithQueueDepth(*queue),
 		serve.WithCacheBudget(*budget),
 		serve.WithDefaultDeadline(*deadline),
+		serve.WithDrainTimeout(*drainT),
+		serve.WithFreezeOnShutdown(*freezeOn),
+		serve.WithLogger(logger),
 	}
 	gw, err := newGateway(*parallel, tracer, *snapDir, opts...)
 	if err != nil {
@@ -137,16 +156,24 @@ func run() error {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "ukserver: listening on %s (%d shards × %d workers per kind)\n", *addr, *shards, *workers)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "ukserver: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop the listener first (no new connections), then
+		// drain the serving layer — admitted requests finish, late arrivals
+		// are rejected 503 — bounded by -drain-timeout on both steps. A clean
+		// drain with -freeze-on-shutdown persists every instance before exit.
+		fmt.Fprintln(os.Stderr, "ukserver: draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+		if *drainT <= 0 {
+			shutCtx, cancel = context.WithCancel(context.Background())
+		}
 		defer cancel()
-		return srv.Shutdown(shutCtx)
+		httpErr := srv.Shutdown(shutCtx)
+		return errors.Join(httpErr, gw.shutdown(shutCtx))
 	}
 }
 
@@ -189,6 +216,34 @@ func newGateway(parallel int, tracer obs.Tracer, snapDir string, opts ...serve.O
 func (g *gateway) close() {
 	g.eu.Close()
 	g.fin.Close()
+}
+
+// shutdown drains both kind servers under ctx: admission flips to
+// ErrDraining immediately, admitted work finishes (or is aborted when ctx
+// expires), and a clean drain freezes instances when so configured.
+func (g *gateway) shutdown(ctx context.Context) error {
+	return errors.Join(g.eu.Shutdown(ctx), g.fin.Shutdown(ctx))
+}
+
+// retryAfter estimates how long the caller should wait before retrying a
+// request for name, from the owning shard's live queue depth and execution
+// latency.
+func (g *gateway) retryAfter(name string) time.Duration {
+	if _, ok := g.fin.Get(name); ok {
+		return g.fin.RetryAfter(name)
+	}
+	return g.eu.RetryAfter(name)
+}
+
+// retryAfterHeader renders a drain- or overload-typed error's backoff hint
+// as Retry-After delay-seconds (ceiling, floor 1 — the header has whole-
+// second granularity).
+func retryAfterHeader(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 // kindOf reports which kind server holds name ("" when neither).
@@ -389,9 +444,16 @@ func (g *gateway) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	kindOut := func(m serve.Metrics) map[string]any {
+		return map[string]any{
+			"shards":                metricsOut(m),
+			"snapshots_quarantined": m.SnapshotsQuarantined,
+			"tmp_files_swept":       m.TempFilesSwept,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"euclidean": metricsOut(g.eu.Metrics()),
-		"finite":    metricsOut(g.fin.Metrics()),
+		"euclidean": kindOut(g.eu.Metrics()),
+		"finite":    kindOut(g.fin.Metrics()),
 	})
 }
 
@@ -428,6 +490,7 @@ type shardOut struct {
 	Failed      uint64  `json:"failed"`
 	Canceled    uint64  `json:"canceled"`
 	Expired     uint64  `json:"expired"`
+	Panicked    uint64  `json:"panicked"`
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
 	Evictions   uint64  `json:"evictions"`
@@ -458,6 +521,7 @@ func metricsOut(m serve.Metrics) []shardOut {
 			Failed:      s.Failed,
 			Canceled:    s.Canceled,
 			Expired:     s.Expired,
+			Panicked:    s.Panicked,
 			CacheHits:   s.CacheHits,
 			CacheMisses: s.CacheMisses,
 			Evictions:   s.Evictions,
@@ -496,6 +560,16 @@ func (g *gateway) workload(eu func(context.Context, workloadRequest) (any, error
 			err = fmt.Errorf("%w: %q", serve.ErrNotFound, req.Instance)
 		}
 		if err != nil {
+			// Overload and drain are retryable-by-contract: tell the caller
+			// when. The 429 hint tracks the live backlog (queue depth ×
+			// observed execution latency); a draining server is gone within
+			// the drain timeout, so a flat minimum suffices.
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				w.Header().Set("Retry-After", retryAfterHeader(g.retryAfter(req.Instance)))
+			case errors.Is(err, serve.ErrDraining):
+				w.Header().Set("Retry-After", "1")
+			}
 			httpError(w, statusFor(err), err)
 			return
 		}
@@ -509,8 +583,10 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, serve.ErrClosed):
+	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrPanicked):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,41 @@
+package arena
+
+import (
+	"fmt"
+	"os"
+)
+
+// SectionOffsets reads the header of the snapshot at path and returns every
+// section boundary in file order: the header end (first section start),
+// each subsequent section's padded start, and finally the total file size.
+// The offsets come from the canonical layout recomputed from the header
+// counts — the same source of truth Open validates the stored table
+// against — so truncating a valid snapshot at any returned offset yields a
+// file whose header is intact but whose payload is torn at a structural
+// boundary. Torn-write torture tests (serve's quarantine suite) are the
+// intended consumer; the serving path itself never needs this.
+func SectionOffsets(path string) ([]int64, error) {
+	buf := make([]byte, headerSize)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("arena: reading header of %s: %w", path, err)
+	}
+	h, _, err := decodeHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	total, err := h.layout()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, numSections+1)
+	for i := range h.sec {
+		out = append(out, int64(h.sec[i].off))
+	}
+	out = append(out, int64(total))
+	return out, nil
+}

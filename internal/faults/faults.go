@@ -1,0 +1,174 @@
+// Package faults is the deterministic fault-injection harness behind the
+// serving stack's robustness tests: seeded, probability- and
+// call-site-keyed injection of panics, errors and latency.
+//
+// Production code marks its injectable call sites with Fire:
+//
+//	if err := faults.Fire("serve.exec"); err != nil {
+//		return err // an injected error
+//	}
+//
+// With no plan enabled — every process that is not a fault test — Fire is a
+// single atomic load returning nil: no allocation, no map access, no clock
+// read, so instrumented hot paths stay alloc-identical to uninstrumented
+// ones (pinned by TestFireDisabledAllocs). Tests Enable a Plan naming the
+// sites they want to perturb and the per-site probabilities of each
+// outcome; everything not named stays a no-op.
+//
+// Decisions are deterministic: the i-th Fire at a site draws its outcome
+// from splitmix64(seed, site, i), so a seeded soak run injects the same
+// multiset of panics/errors/delays every time (under concurrency the
+// *assignment* of decisions to goroutines follows arrival order, but the
+// sequence of decisions per site is fixed). An injected panic carries a
+// Panic value naming its site and call index, so recovery layers can prove
+// a recovered panic was injected rather than genuine.
+//
+// The harness is process-global (production call sites cannot thread a
+// registry through every layer); Enable/Disable are for tests only and
+// tests sharing a binary must not enable overlapping plans concurrently.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error Fire returns on an error draw when the rule
+// does not name its own.
+var ErrInjected = errors.New("faults: injected error")
+
+// Panic is the value injected panics carry; recover sites can type-assert
+// it to distinguish injected panics from genuine ones.
+type Panic struct {
+	Site string // the Fire call site that panicked
+	Call uint64 // zero-based call index at that site
+}
+
+func (p Panic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (call %d)", p.Site, p.Call)
+}
+
+// Rule is one call site's fault mix. The probabilities partition a single
+// uniform draw — Panic, then Error, then Latency — so they are mutually
+// exclusive per call and must sum to at most 1; the remainder is a clean
+// pass-through.
+type Rule struct {
+	Panic   float64       // probability of panicking with a Panic value
+	Error   float64       // probability of returning Err (ErrInjected when nil)
+	Latency float64       // probability of sleeping Delay, then passing through
+	Err     error         // the injected error; nil selects ErrInjected
+	Delay   time.Duration // the injected latency on a Latency draw
+}
+
+// Plan is a seeded set of per-site rules.
+type Plan struct {
+	Seed  int64
+	Rules map[string]Rule
+}
+
+// site is one enabled rule plus its per-site call counter.
+type site struct {
+	rule  Rule
+	hash  uint64
+	calls atomic.Uint64
+}
+
+// state is the immutable compiled plan; swapped atomically as a whole.
+type state struct {
+	seed  uint64
+	sites map[string]*site
+}
+
+var active atomic.Pointer[state]
+
+// Enable installs the plan, replacing any previous one and resetting every
+// call counter. Panics on an invalid rule (probabilities outside [0,1] or
+// summing past 1) — plans are test configuration, not data.
+func Enable(p Plan) {
+	st := &state{seed: uint64(p.Seed), sites: make(map[string]*site, len(p.Rules))}
+	for name, r := range p.Rules {
+		if r.Panic < 0 || r.Error < 0 || r.Latency < 0 || r.Panic+r.Error+r.Latency > 1 {
+			panic(fmt.Sprintf("faults: invalid rule for %q: probabilities %v/%v/%v", name, r.Panic, r.Error, r.Latency))
+		}
+		st.sites[name] = &site{rule: r, hash: fnv64(name)}
+	}
+	active.Store(st)
+}
+
+// Disable removes the active plan; every Fire returns to the nil fast path.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Calls returns how many times the named site has fired under the active
+// plan (0 with no plan, or for an unnamed site).
+func Calls(name string) uint64 {
+	st := active.Load()
+	if st == nil {
+		return 0
+	}
+	s := st.sites[name]
+	if s == nil {
+		return 0
+	}
+	return s.calls.Load()
+}
+
+// Fire consults the active plan for the named call site: it may panic with
+// a Panic value, return an error to inject, or sleep before passing
+// through. With no plan active — the production default — it is one atomic
+// load and returns nil without allocating.
+func Fire(name string) error {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	s := st.sites[name]
+	if s == nil {
+		return nil
+	}
+	n := s.calls.Add(1) - 1
+	u := unit(splitmix64(st.seed ^ s.hash ^ splitmix64(n)))
+	r := &s.rule
+	switch {
+	case u < r.Panic:
+		panic(Panic{Site: name, Call: n})
+	case u < r.Panic+r.Error:
+		if r.Err != nil {
+			return r.Err
+		}
+		return ErrInjected
+	case u < r.Panic+r.Error+r.Latency:
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the standard 64-bit finalizing mix — a full-avalanche hash
+// of its input, used here to turn (seed, site, call) into an independent
+// uniform draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a 64-bit value onto [0,1) with 53-bit resolution.
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// fnv64 is FNV-1a over the site name, computed once at Enable.
+func fnv64(s string) uint64 {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

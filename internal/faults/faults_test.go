@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fireOutcome runs Fire once and classifies the result.
+func fireOutcome(site string) (outcome string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(Panic); !ok {
+				panic(r) // not ours — re-raise
+			}
+			outcome = "panic"
+		}
+	}()
+	if e := Fire(site); e != nil {
+		return "error", e
+	}
+	return "pass", nil
+}
+
+// TestFireDisabledIsNoop pins the production default: no plan, no effect.
+func TestFireDisabledIsNoop(t *testing.T) {
+	Disable()
+	for i := 0; i < 100; i++ {
+		if err := Fire("any.site"); err != nil {
+			t.Fatalf("disabled Fire returned %v", err)
+		}
+	}
+	if Enabled() {
+		t.Fatal("Enabled() true with no plan")
+	}
+}
+
+// TestFireDisabledAllocs pins the hot-path contract the serving layer
+// depends on: an unregistered Fire allocates nothing — with no plan at
+// all, and with a plan that does not name the site.
+func TestFireDisabledAllocs(t *testing.T) {
+	Disable()
+	if allocs := testing.AllocsPerRun(1000, func() { _ = Fire("serve.exec") }); allocs != 0 {
+		t.Fatalf("disabled Fire allocates %v per call, want 0", allocs)
+	}
+	Enable(Plan{Seed: 1, Rules: map[string]Rule{"other.site": {Error: 1}}})
+	defer Disable()
+	if allocs := testing.AllocsPerRun(1000, func() { _ = Fire("serve.exec") }); allocs != 0 {
+		t.Fatalf("unnamed-site Fire allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestFireDeterministic pins that two runs of the same seeded plan produce
+// the identical outcome sequence at a site.
+func TestFireDeterministic(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: map[string]Rule{
+		"s": {Panic: 0.2, Error: 0.3, Latency: 0.1},
+	}}
+	run := func() []string {
+		Enable(plan)
+		defer Disable()
+		out := make([]string, 200)
+		for i := range out {
+			out[i], _ = fireOutcome("s")
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: run A %q, run B %q — decisions not deterministic", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different sequence (overwhelmingly).
+	Enable(Plan{Seed: 43, Rules: plan.Rules})
+	defer Disable()
+	same := 0
+	for i := range a {
+		o, _ := fireOutcome("s")
+		if o == a[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed 43 reproduced seed 42's sequence exactly")
+	}
+}
+
+// TestFireRates checks the empirical rates land near the configured
+// probabilities over a long seeded run.
+func TestFireRates(t *testing.T) {
+	Enable(Plan{Seed: 7, Rules: map[string]Rule{
+		"s": {Panic: 0.1, Error: 0.1, Latency: 0.1},
+	}})
+	defer Disable()
+	counts := map[string]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		o, _ := fireOutcome("s")
+		counts[o]++
+	}
+	for _, o := range []string{"panic", "error"} {
+		rate := float64(counts[o]) / n
+		if rate < 0.07 || rate > 0.13 {
+			t.Errorf("%s rate = %v, want ~0.1", o, rate)
+		}
+	}
+	if got := Calls("s"); got != n {
+		t.Errorf("Calls = %d, want %d", got, n)
+	}
+}
+
+// TestFireInjectedValues pins the injected artifacts: the default error,
+// a custom error, the panic payload, and the latency sleep.
+func TestFireInjectedValues(t *testing.T) {
+	custom := errors.New("boom")
+	Enable(Plan{Seed: 1, Rules: map[string]Rule{
+		"err-default": {Error: 1},
+		"err-custom":  {Error: 1, Err: custom},
+		"panics":      {Panic: 1},
+		"slow":        {Latency: 1, Delay: 10 * time.Millisecond},
+	}})
+	defer Disable()
+
+	if err := Fire("err-default"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default error draw = %v, want ErrInjected", err)
+	}
+	if err := Fire("err-custom"); !errors.Is(err, custom) {
+		t.Fatalf("custom error draw = %v, want custom error", err)
+	}
+	func() {
+		defer func() {
+			p, ok := recover().(Panic)
+			if !ok || p.Site != "panics" {
+				t.Fatalf("recovered %v, want Panic{Site: panics}", p)
+			}
+		}()
+		_ = Fire("panics")
+		t.Fatal("Panic=1 rule did not panic")
+	}()
+	start := time.Now()
+	if err := Fire("slow"); err != nil {
+		t.Fatalf("latency draw returned %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency draw slept %v, want >= 10ms", d)
+	}
+}

@@ -12,7 +12,11 @@ import (
 // The vocabulary, all prefixed ukc_serve_:
 //
 //   - requests_total{shard,outcome} — outcome ∈ admitted, rejected,
-//     completed, failed, canceled, expired (counters);
+//     completed, failed, canceled, expired, panicked (counters);
+//   - snapshots_quarantined_total, tmp_files_swept_total — server-level
+//     (no labels) snapshot-hygiene counters: corrupt snapshots renamed to
+//     *.quarantine, and stale *.ukc.tmp write temporaries removed at
+//     startup;
 //   - cache_events_total{shard,event} — event ∈ hit, miss, eviction;
 //   - instances, queue_depth, queue_capacity, cache_bytes,
 //     cache_budget_bytes{shard} — gauges;
@@ -28,6 +32,8 @@ import (
 // deterministic: shards ascending, instances sorted by name.
 func (s *Server[P]) Collect(fn func(name string, labels map[string]string, value float64)) {
 	m := s.Metrics()
+	fn("ukc_serve_snapshots_quarantined_total", map[string]string{}, float64(m.SnapshotsQuarantined))
+	fn("ukc_serve_tmp_files_swept_total", map[string]string{}, float64(m.TempFilesSwept))
 	for _, sh := range m.Shards {
 		shard := strconv.Itoa(sh.Shard)
 		req := func(outcome string, v uint64) {
@@ -39,6 +45,7 @@ func (s *Server[P]) Collect(fn func(name string, labels map[string]string, value
 		req("failed", sh.Failed)
 		req("canceled", sh.Canceled)
 		req("expired", sh.Expired)
+		req("panicked", sh.Panicked)
 
 		ev := func(event string, v uint64) {
 			fn("ukc_serve_cache_events_total", map[string]string{"shard": shard, "event": event}, float64(v))

@@ -1,0 +1,240 @@
+package serve_test
+
+// The drain lifecycle contract: Shutdown stops admission with typed
+// ErrDraining while admitted work completes, is idempotent under arbitrary
+// concurrent Shutdown/Close calls, aborts in-flight work when its context
+// expires, and never races Register past the drain (the PR-8 regression).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	ukc "repro"
+	"repro/serve"
+)
+
+// gatedServer builds a 1-worker server with one gate-wedged instance and one
+// normal instance, returning the gate.
+func gatedServer(t *testing.T, opts ...serve.Option) (*serve.Server[ukc.Vec], chan struct{}) {
+	t.Helper()
+	gate := make(chan struct{})
+	gated := ukc.NewInstance[ukc.Vec](gateSpace{gate}, []ukc.Point{
+		{Locs: []ukc.Vec{{0, 0}}, Probs: []float64{1}},
+	}, nil)
+	srv, err := serve.New[ukc.Vec](nil, append([]serve.Option{serve.WithWorkersPerShard(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(context.Background(), "gated", gated); err != nil {
+		t.Fatal(err)
+	}
+	return srv, gate
+}
+
+// wedge submits the request that blocks inside the gate and waits until the
+// worker has dequeued it.
+func wedge(t *testing.T, srv *serve.Server[ukc.Vec]) chan error {
+	t.Helper()
+	wedged := make(chan error, 1)
+	go func() {
+		_, err := srv.Ecost(context.Background(), serve.EcostRequest[ukc.Vec]{
+			Instance: "gated", Centers: []ukc.Vec{{1, 1}}, Assign: []int{0},
+		})
+		wedged <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := srv.Metrics().Totals()
+		if m.Admitted == 1 && m.QueueDepth == 0 {
+			return wedged
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never dequeued the wedge request: %+v", m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeDrainRejectsTyped pins the draining window: while Shutdown waits
+// for admitted work, new requests and registrations fail with ErrDraining
+// (not ErrClosed, not a hang); after the drain completes they fail with
+// ErrClosed; and the wedged in-flight request still completed cleanly.
+func TestServeDrainRejectsTyped(t *testing.T) {
+	srv, gate := gatedServer(t)
+	wedged := wedge(t, srv)
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(context.Background()) }()
+
+	// Admission flips to draining as soon as Shutdown takes the state lock.
+	// Probe with Register — unlike a request, it can never block on the
+	// wedged worker — until the typed rejection appears.
+	probe := testInstances(t, 1)[0]
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		err := srv.Register(context.Background(), fmt.Sprintf("probe-%d", i), probe)
+		if errors.Is(err, serve.ErrDraining) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("mid-drain Register probe: err = %v, want nil or ErrDraining", err)
+		}
+		srv.Unregister(fmt.Sprintf("probe-%d", i))
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started rejecting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Requests are now rejected with the same typed error, synchronously.
+	if _, err := srv.Ecost(context.Background(), serve.EcostRequest[ukc.Vec]{
+		Instance: "gated", Centers: []ukc.Vec{{1, 1}}, Assign: []int{0},
+	}); !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("mid-drain request: err = %v, want ErrDraining", err)
+	}
+
+	close(gate)
+	if err := <-wedged; err != nil {
+		t.Fatalf("wedged request failed across the drain: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := srv.Ecost(context.Background(), serve.EcostRequest[ukc.Vec]{
+		Instance: "gated", Centers: []ukc.Vec{{1, 1}}, Assign: []int{0},
+	}); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-drain request: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestServeShutdownIdempotentConcurrent pins that any number of concurrent
+// Shutdown and Close calls perform exactly one drain and all return the
+// same result.
+func TestServeShutdownIdempotentConcurrent(t *testing.T) {
+	srv := newTestServer(t, nil, testInstances(t, 1))
+	if _, err := srv.Solve(context.Background(), serve.SolveRequest{Instance: "inst-0", K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = srv.Shutdown(context.Background())
+			} else {
+				srv.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent Shutdown %d: %v", i, err)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("late Shutdown: %v", err)
+	}
+}
+
+// TestServeDrainDeadlineAborts pins the bounded drain: when Shutdown's
+// context expires with a request still wedged in a worker, the request's
+// context is canceled (its caller returns context.Canceled — the observable
+// proof the abort fired) and Shutdown returns an error wrapping the
+// context's verdict once the worker unblocks.
+func TestServeDrainDeadlineAborts(t *testing.T) {
+	srv, gate := gatedServer(t)
+	wedged := wedge(t, srv)
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(sctx) }()
+
+	// The wedged request's caller must observe the drain abort even though
+	// the worker is still stuck inside the metric call.
+	select {
+	case err := <-wedged:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("aborted request: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain abort never canceled the wedged request")
+	}
+
+	// Unstick the worker; Shutdown then finishes with the abort verdict.
+	close(gate)
+	select {
+	case err := <-shutdownErr:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("aborted Shutdown: err = %v, want wrapped context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown never returned after the worker unblocked")
+	}
+
+	// The result is sticky: later calls return the same aborted-drain error.
+	if err := srv.Shutdown(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("repeat Shutdown after abort: err = %v", err)
+	}
+}
+
+// TestServeCloseRegisterRace is the PR-8 regression test for the
+// Close/Register race: under concurrent registrations and one Close, every
+// Register either succeeds — and its instance is then visible in the final
+// registry — or fails typed with ErrDraining/ErrClosed. No registration may
+// slip past the drain unaccounted.
+func TestServeCloseRegisterRace(t *testing.T) {
+	insts := testInstances(t, 1)
+	for round := 0; round < 20; round++ {
+		srv, err := serve.New[ukc.Vec](nil, serve.WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const regs = 8
+		results := make([]error, regs)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < regs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				results[i] = srv.Register(context.Background(), fmt.Sprintf("r-%d", i), insts[0])
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			srv.Close()
+		}()
+		close(start)
+		wg.Wait()
+
+		names := map[string]bool{}
+		for _, n := range srv.Names() {
+			names[n] = true
+		}
+		for i, err := range results {
+			name := fmt.Sprintf("r-%d", i)
+			switch {
+			case err == nil:
+				if !names[name] {
+					t.Fatalf("round %d: Register(%s) succeeded but the instance is missing post-Close", round, name)
+				}
+			case errors.Is(err, serve.ErrDraining) || errors.Is(err, serve.ErrClosed):
+				if names[name] {
+					t.Fatalf("round %d: Register(%s) failed %v yet the instance exists", round, name, err)
+				}
+			default:
+				t.Fatalf("round %d: Register(%s) unexpected error %v", round, name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package serve_test
+
+// The fault-tolerance acceptance suite: a seeded fault-injection soak
+// (mixed panics/errors/latency at 10% rates each, 3 shards, 32 goroutines)
+// during which the process survives every injected panic, every clean
+// response stays bit-identical to a direct Solver call, and the request
+// counters reconcile exactly. Run under -race via make test-race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	ukc "repro"
+	"repro/internal/faults"
+	"repro/serve"
+)
+
+// TestServeFaultInjectionSoak is the PR-8 acceptance scenario.
+func TestServeFaultInjectionSoak(t *testing.T) {
+	const (
+		nInst      = 6
+		k          = 3
+		goroutines = 32
+		perG       = 32 // 1024 requests total
+	)
+	faults.Enable(faults.Plan{Seed: 2024, Rules: map[string]faults.Rule{
+		"serve.exec": {Panic: 0.1, Error: 0.1, Latency: 0.1, Delay: 200 * time.Microsecond},
+	}})
+	defer faults.Disable()
+
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithMaxIter(3))
+	insts := testInstances(t, nInst)
+	want := directAnswers(t, solver, insts, k)
+
+	srv := newTestServer(t, solver, insts,
+		serve.WithShards(3),
+		serve.WithWorkersPerShard(2),
+		serve.WithQueueDepth(4*goroutines*perG), // deep enough that nothing is rejected
+	)
+
+	ctx := context.Background()
+	var sawPanics, sawInjected atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9000 + g)))
+			for it := 0; it < perG; it++ {
+				i := rng.Intn(nInst)
+				name := fmt.Sprintf("inst-%d", i)
+				var err error
+				var check func() error
+				switch it % 3 {
+				case 0:
+					var resp serve.SolveResponse[ukc.Vec]
+					resp, err = srv.Solve(ctx, serve.SolveRequest{Instance: name, K: k})
+					check = func() error {
+						if resp.Result.Ecost != want[i].solve.Ecost ||
+							!sameVecs(resp.Result.Centers, want[i].solve.Centers) ||
+							!sameInts(resp.Result.Assign, want[i].solve.Assign) {
+							return fmt.Errorf("Solve(%s) diverged from direct call under faults", name)
+						}
+						return nil
+					}
+				case 1:
+					var resp serve.UnassignedResponse[ukc.Vec]
+					resp, err = srv.SolveUnassigned(ctx, serve.UnassignedRequest{Instance: name, K: k})
+					check = func() error {
+						if resp.Ecost != want[i].unassCost || !sameVecs(resp.Centers, want[i].unassigned) {
+							return fmt.Errorf("SolveUnassigned(%s) diverged from direct call under faults", name)
+						}
+						return nil
+					}
+				case 2:
+					var resp serve.EcostResponse
+					resp, err = srv.Ecost(ctx, serve.EcostRequest[ukc.Vec]{Instance: name, Centers: want[i].solve.Centers, Assign: want[i].assign})
+					check = func() error {
+						if resp.Ecost != want[i].ecost {
+							return fmt.Errorf("Ecost(%s) diverged from direct call under faults", name)
+						}
+						return nil
+					}
+				}
+				switch {
+				case err == nil:
+					// A clean response must be bit-identical to the direct
+					// Solver call — injected latency and sibling panics must
+					// never perturb a surviving request's answer.
+					if cerr := check(); cerr != nil {
+						errs <- cerr
+						return
+					}
+				case errors.Is(err, serve.ErrPanicked):
+					// The typed panic response: the concrete *PanicError
+					// carries the injected payload and a stack.
+					var pe *serve.PanicError
+					if !errors.As(err, &pe) {
+						errs <- fmt.Errorf("ErrPanicked response is not a *PanicError: %v", err)
+						return
+					}
+					if _, ok := pe.Value.(faults.Panic); !ok {
+						errs <- fmt.Errorf("recovered value %v is not the injected faults.Panic", pe.Value)
+						return
+					}
+					if len(pe.Stack) == 0 {
+						errs <- fmt.Errorf("PanicError carries no stack")
+						return
+					}
+					sawPanics.Add(1)
+				case errors.Is(err, faults.ErrInjected):
+					sawInjected.Add(1)
+				default:
+					errs <- fmt.Errorf("unexpected error under faults: %v", err)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The seeded 10% rates must actually have fired — a soak that injected
+	// nothing proves nothing.
+	if sawPanics.Load() == 0 || sawInjected.Load() == 0 {
+		t.Fatalf("soak injected panics=%d errors=%d, want both > 0", sawPanics.Load(), sawInjected.Load())
+	}
+
+	// Counter reconciliation: every admitted request is accounted to exactly
+	// one outcome, and the counters agree with what the callers saw.
+	m := srv.Metrics().Totals()
+	total := uint64(goroutines * perG)
+	if m.Admitted != total || m.Rejected != 0 {
+		t.Fatalf("admitted=%d rejected=%d, want %d/0", m.Admitted, m.Rejected, total)
+	}
+	if sum := m.Completed + m.Failed + m.Expired + m.Canceled + m.Panicked; sum != m.Admitted {
+		t.Fatalf("counters do not reconcile: completed=%d + failed=%d + expired=%d + canceled=%d + panicked=%d = %d != admitted=%d",
+			m.Completed, m.Failed, m.Expired, m.Canceled, m.Panicked, sum, m.Admitted)
+	}
+	if m.Panicked != sawPanics.Load() {
+		t.Fatalf("Panicked counter = %d, callers saw %d", m.Panicked, sawPanics.Load())
+	}
+	if m.Failed != sawInjected.Load() {
+		t.Fatalf("Failed counter = %d, callers saw %d injected errors", m.Failed, sawInjected.Load())
+	}
+
+	// The workers survived every panic: the full pool still serves, and a
+	// fault-free request after Disable is clean.
+	faults.Disable()
+	for i := 0; i < nInst; i++ {
+		resp, err := srv.Solve(ctx, serve.SolveRequest{Instance: fmt.Sprintf("inst-%d", i), K: k})
+		if err != nil {
+			t.Fatalf("post-soak Solve(inst-%d): %v", i, err)
+		}
+		if resp.Result.Ecost != want[i].solve.Ecost {
+			t.Fatalf("post-soak Solve(inst-%d) diverged", i)
+		}
+	}
+}
+
+// TestServePanicIsolation pins the single-panic contract without
+// probabilities: a rule that always panics yields ErrPanicked with the
+// stack attached, the panicked counter increments, and the very next
+// request on the same worker succeeds bit-identically.
+func TestServePanicIsolation(t *testing.T) {
+	solver := ukc.NewSolver[ukc.Vec](ukc.WithMaxIter(3))
+	insts := testInstances(t, 1)
+	want := directAnswers(t, solver, insts, 2)
+	srv := newTestServer(t, solver, insts, serve.WithWorkersPerShard(1))
+
+	faults.Enable(faults.Plan{Seed: 1, Rules: map[string]faults.Rule{
+		"serve.exec": {Panic: 1},
+	}})
+	_, err := srv.Solve(context.Background(), serve.SolveRequest{Instance: "inst-0", K: 2})
+	faults.Disable()
+	if !errors.Is(err, serve.ErrPanicked) {
+		t.Fatalf("err = %v, want ErrPanicked", err)
+	}
+	var pe *serve.PanicError
+	if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("panic response carries no *PanicError with stack: %v", err)
+	}
+	if got := srv.Metrics().Totals().Panicked; got != 1 {
+		t.Fatalf("Panicked = %d, want 1", got)
+	}
+
+	resp, err := srv.Solve(context.Background(), serve.SolveRequest{Instance: "inst-0", K: 2})
+	if err != nil {
+		t.Fatalf("request after panic: %v", err)
+	}
+	if resp.Result.Ecost != want[0].solve.Ecost || !sameVecs(resp.Result.Centers, want[0].solve.Centers) {
+		t.Fatal("post-panic solve diverged from direct call")
+	}
+}

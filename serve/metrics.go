@@ -15,9 +15,10 @@ type shardCounters struct {
 	admitted  atomic.Uint64 // requests accepted into the queue
 	rejected  atomic.Uint64 // requests bounced with ErrOverloaded
 	completed atomic.Uint64 // executed requests that returned no error
-	failed    atomic.Uint64 // executed requests that returned a genuine error (not a context verdict)
+	failed    atomic.Uint64 // executed requests that returned a genuine error (not a context verdict or panic)
 	canceled  atomic.Uint64 // requests whose caller canceled, queued or mid-execution
 	expired   atomic.Uint64 // requests whose deadline passed, queued or mid-execution
+	panicked  atomic.Uint64 // executed requests whose workload panicked (recovered to ErrPanicked)
 	hits      atomic.Uint64 // executed requests with no cache build in their window
 	misses    atomic.Uint64 // executed requests whose window saw a cache build
 	evictions atomic.Uint64 // DropCaches calls issued by the byte-budget LRU
@@ -116,6 +117,7 @@ type ShardMetrics struct {
 	Failed    uint64
 	Canceled  uint64
 	Expired   uint64
+	Panicked  uint64
 
 	CacheHits   uint64
 	CacheMisses uint64
@@ -142,9 +144,17 @@ func (m ShardMetrics) HitRate() float64 {
 }
 
 // Metrics is a full server snapshot: one entry per shard plus the
-// cross-shard totals.
+// cross-shard totals and the server-level snapshot-hygiene counters.
 type Metrics struct {
 	Shards []ShardMetrics
+
+	// SnapshotsQuarantined counts corrupt `.ukc` files renamed to
+	// `*.quarantine` (warm start or RegisterSnapshot) since server start;
+	// TempFilesSwept counts stale `*.ukc.tmp` write temporaries removed by
+	// the WithSnapshotDir startup sweep. Both are server-level — snapshot
+	// hygiene happens before a file is attributed to any shard.
+	SnapshotsQuarantined uint64
+	TempFilesSwept       uint64
 }
 
 // Totals sums the per-shard snapshots (Shard = -1; latency quantiles are
@@ -170,6 +180,7 @@ func (m Metrics) Totals() ShardMetrics {
 		t.Failed += s.Failed
 		t.Canceled += s.Canceled
 		t.Expired += s.Expired
+		t.Panicked += s.Panicked
 		t.CacheHits += s.CacheHits
 		t.CacheMisses += s.CacheMisses
 		t.Evictions += s.Evictions

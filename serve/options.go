@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/par"
@@ -9,18 +10,22 @@ import (
 
 // config is the resolved server configuration. Defaults: one shard, one
 // worker per shard, a 64-request queue per shard, no cache budget
-// (eviction off) and no default deadline.
+// (eviction off), no default deadline, indefinite drain, no freeze on
+// shutdown, and the process-default slog logger.
 type config struct {
-	shards      int
-	workers     int
-	queueDepth  int
-	budget      int64
-	deadline    time.Duration
-	snapshotDir string
+	shards           int
+	workers          int
+	queueDepth       int
+	budget           int64
+	deadline         time.Duration
+	snapshotDir      string
+	drainTimeout     time.Duration
+	freezeOnShutdown bool
+	logger           *slog.Logger
 }
 
 func defaultConfig() config {
-	return config{shards: 1, workers: 1, queueDepth: 64}
+	return config{shards: 1, workers: 1, queueDepth: 64, logger: slog.Default()}
 }
 
 func (c config) validate() error {
@@ -86,11 +91,48 @@ func WithCacheBudget(bytes int64) Option {
 // base name, so previously frozen instances serve their first request
 // without recompiling anything (the restart path behind cmd/ukserver's
 // -snapshot-dir). Snapshots of the other instance kind are skipped — a
-// gateway runs one typed server per kind over a shared directory — but any
-// corrupt or unreadable snapshot fails New rather than booting partially.
-// Empty (the default) disables the scan.
+// gateway runs one typed server per kind over a shared directory. A corrupt
+// snapshot (bad checksum, truncation, torn layout) is quarantined — renamed
+// to "*.quarantine", logged, counted — and the healthy remainder still
+// serves; version/endianness mismatches and I/O errors abort New, since
+// those are deployment errors, not bit-rot. Stale "*.ukc.tmp" write
+// temporaries are swept before the scan. Empty (the default) disables the
+// scan.
 func WithSnapshotDir(dir string) Option {
 	return func(c *config) { c.snapshotDir = dir }
+}
+
+// WithDrainTimeout bounds how long Close waits for in-flight work during
+// shutdown (0, the default, waits indefinitely — the historical Close
+// contract). When the timeout expires the remaining in-flight requests are
+// canceled and Close returns once the workers observe it. Shutdown(ctx)
+// callers control the bound through their context instead and ignore this
+// setting.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(c *config) { c.drainTimeout = d }
+}
+
+// WithFreezeOnShutdown makes a clean drain (Shutdown/Close that was not
+// aborted by its deadline) freeze every registered instance to the snapshot
+// directory before the server reports closed, so the next process warm-starts
+// exactly the serving set this one held. Requires WithSnapshotDir; without
+// one the flag is a no-op. Freezing an instance that already has an
+// up-to-date snapshot rewrites it (atomically, via tmp+rename).
+func WithFreezeOnShutdown(on bool) Option {
+	return func(c *config) { c.freezeOnShutdown = on }
+}
+
+// WithLogger sets the structured logger for the server's operational events:
+// snapshot quarantines, stale-temporary sweeps, drain aborts. The default is
+// slog.Default(). A nil logger restores the default rather than disabling
+// logging — these events indicate data loss or corruption and are never
+// silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) {
+		if l != nil {
+			c.logger = l
+		}
+	}
 }
 
 // WithDefaultDeadline sets the per-request deadline applied when a request

@@ -1,0 +1,91 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	ukc "repro"
+	"repro/internal/arena"
+	"repro/serve"
+)
+
+// TestTornWriteQuarantine is the torn-write torture test: a valid snapshot
+// truncated at every section boundary (the exact file prefixes a crashed or
+// torn write could leave if the tmp+rename discipline were ever bypassed —
+// a partial header, a full header with no payload, each prefix of the
+// section sequence) must be quarantined at warm start while the healthy
+// sibling instance boots and serves normally. Every truncation point comes
+// from arena.SectionOffsets, i.e. from the codec's own canonical layout, so
+// the test tracks format changes automatically.
+func TestTornWriteQuarantine(t *testing.T) {
+	src := t.TempDir()
+	goodInst := ukc.NewEuclideanInstance(snapEuPoints(t, 20))
+	tornInst := ukc.NewEuclideanInstance(snapEuPoints(t, 21))
+	goodPath := writeSnapshot(t, src, "good", goodInst)
+	tornPath := writeSnapshot(t, src, "torn", tornInst)
+
+	goodBytes, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatalf("ReadFile(good): %v", err)
+	}
+	tornBytes, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatalf("ReadFile(torn): %v", err)
+	}
+	bounds, err := arena.SectionOffsets(tornPath)
+	if err != nil {
+		t.Fatalf("SectionOffsets: %v", err)
+	}
+	total := bounds[len(bounds)-1]
+	if total != int64(len(tornBytes)) {
+		t.Fatalf("layout total %d != file size %d", total, len(tornBytes))
+	}
+
+	// The cut points: a torn header too, then every section boundary short
+	// of the full file size (a trailing run of empty sections shares the
+	// total offset, and cutting there is the intact snapshot). Consecutive
+	// empty sections share an offset — dedupe so each prefix is tested once.
+	cuts := []int64{0, total / 10}
+	seen := map[int64]bool{0: true, total / 10: true}
+	for _, b := range bounds[:len(bounds)-1] {
+		if b < total && !seen[b] {
+			seen[b] = true
+			cuts = append(cuts, b)
+		}
+	}
+
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "good"+serve.SnapshotExt), goodBytes, 0o644); err != nil {
+				t.Fatalf("WriteFile(good): %v", err)
+			}
+			torn := filepath.Join(dir, "torn"+serve.SnapshotExt)
+			if err := os.WriteFile(torn, tornBytes[:cut], 0o644); err != nil {
+				t.Fatalf("WriteFile(torn): %v", err)
+			}
+
+			s, err := serve.New[ukc.Vec](nil, serve.WithSnapshotDir(dir))
+			if err != nil {
+				t.Fatalf("New aborted on a torn snapshot (cut at %d): %v", cut, err)
+			}
+			defer s.Close()
+			if got, want := s.Names(), []string{"good"}; !reflect.DeepEqual(got, want) {
+				t.Fatalf("registry = %v, want %v", got, want)
+			}
+			if _, err := s.Solve(context.Background(), serve.SolveRequest{Instance: "good", K: 3}); err != nil {
+				t.Fatalf("Solve(good): %v", err)
+			}
+			if _, err := os.Stat(torn + serve.QuarantineExt); err != nil {
+				t.Fatalf("torn snapshot not quarantined: %v", err)
+			}
+			if n := s.Metrics().SnapshotsQuarantined; n != 1 {
+				t.Fatalf("SnapshotsQuarantined = %d, want 1", n)
+			}
+		})
+	}
+}

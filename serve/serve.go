@@ -39,12 +39,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ukc "repro"
+	"repro/internal/faults"
 	"repro/internal/lru"
 	"repro/obs"
 	"repro/store"
@@ -55,12 +58,50 @@ import (
 // the retry policy — the server never blocks on a full queue.
 var ErrOverloaded = errors.New("serve: shard queue full")
 
-// ErrClosed is returned for requests and registrations after Close.
+// ErrClosed is returned for requests and registrations after shutdown has
+// completed.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDraining is returned for requests and registrations arriving while a
+// Shutdown/Close drain is in progress: admission has stopped, but
+// already-admitted work is still completing. Callers should retry against
+// another replica (cmd/ukserver maps it to 503 with a Retry-After header).
+var ErrDraining = errors.New("serve: server draining")
 
 // ErrNotFound is the sentinel wrapped by request errors naming an
 // unregistered instance; match with errors.Is.
 var ErrNotFound = errors.New("serve: instance not registered")
+
+// ErrPanicked is the sentinel wrapped by *PanicError — the typed response a
+// request receives when its workload panicked. Match with errors.Is; the
+// concrete *PanicError (via errors.As) carries the recovered value and
+// stack. The panic is confined to the one request: the shard worker
+// recovers, counts it (Panicked in Metrics), and serves the next request
+// from intact shard state.
+var ErrPanicked = errors.New("serve: workload panicked")
+
+// PanicError is the typed error a panicking workload turns into: the
+// recovered panic value plus the stack captured at the recovery point. It
+// wraps ErrPanicked.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured in the recovering worker
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: workload panicked: %v", e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrPanicked }
+
+// Server lifecycle states, guarded by closeMu. Admission is only possible
+// in stateRunning; the draining window is when Shutdown is waiting for
+// admitted work to finish.
+const (
+	stateRunning = iota
+	stateDraining
+	stateClosed
+)
 
 // entry is one registered instance: the compiled model (metered and
 // evicted) and an Instance pinned to it (what the solver consumes).
@@ -125,15 +166,34 @@ type shard[P any] struct {
 
 // Server is the sharded serving layer; build one with New, register
 // instances, then issue requests from any number of goroutines. A Server is
-// goroutine-safe; Close drains in-flight work and rejects everything after.
+// goroutine-safe; Close/Shutdown drain in-flight work and reject everything
+// after, and are idempotent and safe to race with each other and with
+// Register.
 type Server[P any] struct {
 	solver *ukc.Solver[P]
 	cfg    config
 	shards []*shard[P]
 
-	closeMu sync.RWMutex
-	closed  bool
+	closeMu sync.RWMutex // guards state and queue closes vs admission
+	state   int
 	wg      sync.WaitGroup
+
+	// stopCtx is canceled when a drain deadline expires: every in-flight
+	// request's context is derived under it (see do), so aborting the drain
+	// cancels the remaining work at the pipeline's next ctx check.
+	stopCtx    context.Context
+	stopCancel context.CancelFunc
+
+	// drainDone is closed when the first Shutdown/Close finishes; drainErr
+	// (written before the close) is its result, returned verbatim by every
+	// later or concurrent call.
+	drainDone chan struct{}
+	drainErr  error
+
+	// Snapshot-hygiene counters (see snapshot.go): corrupt snapshots
+	// quarantined, and stale write temporaries swept, since server start.
+	quarantined atomic.Uint64
+	tmpSwept    atomic.Uint64
 }
 
 // New builds a server running every request through solver (nil selects
@@ -152,7 +212,8 @@ func New[P any](solver *ukc.Solver[P], opts ...Option) (*Server[P], error) {
 	if solver == nil {
 		solver = ukc.NewSolver[P]()
 	}
-	s := &Server[P]{solver: solver, cfg: cfg, shards: make([]*shard[P], cfg.shards)}
+	s := &Server[P]{solver: solver, cfg: cfg, shards: make([]*shard[P], cfg.shards), drainDone: make(chan struct{})}
+	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	for i := range s.shards {
 		sh := &shard[P]{
 			id:      i,
@@ -201,17 +262,32 @@ func (s *Server[P]) Register(ctx context.Context, name string, inst ukc.Instance
 	if name == "" {
 		return fmt.Errorf("serve: empty instance name")
 	}
-	s.closeMu.RLock()
-	closed := s.closed
-	s.closeMu.RUnlock()
-	if closed {
-		return ErrClosed
+	if err := s.admissible(); err != nil {
+		return err
 	}
 	c, err := inst.Compile(ctx)
 	if err != nil {
 		return fmt.Errorf("serve: compiling %q: %w", name, err)
 	}
 	return s.addEntry(name, c, nil)
+}
+
+// admissible maps the lifecycle state to the typed rejection for new work
+// (nil while running).
+func (s *Server[P]) admissible() error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	return s.admissibleLocked()
+}
+
+func (s *Server[P]) admissibleLocked() error {
+	switch s.state {
+	case stateDraining:
+		return ErrDraining
+	case stateClosed:
+		return ErrClosed
+	}
+	return nil
 }
 
 // addEntry inserts a compiled model into its shard under name — the shared
@@ -222,10 +298,22 @@ func (s *Server[P]) addEntry(name string, c *ukc.Compiled[P], snap *store.Snapsh
 	if err != nil {
 		return err
 	}
+	// Registration must not race past a concurrent Shutdown: holding the
+	// close guard across the insert means an entry is either registered
+	// before the drain starts (and is drained/frozen with the rest) or the
+	// registration fails typed — never a silent post-close insert. The
+	// guard is released before enforceBudget, whose DropCaches calls can
+	// block on an in-flight cache build.
+	s.closeMu.RLock()
+	if err := s.admissibleLocked(); err != nil {
+		s.closeMu.RUnlock()
+		return err
+	}
 	sh := s.shardFor(name)
 	sh.mu.Lock()
 	if _, dup := sh.entries[name]; dup {
 		sh.mu.Unlock()
+		s.closeMu.RUnlock()
 		return fmt.Errorf("serve: instance %q already registered", name)
 	}
 	ent := &entry[P]{name: name, inst: pinned, c: c, snap: snap, bytes: c.CacheBytes(), buildDur: obs.NewHistogram(obs.DurationBuckets()...)}
@@ -234,6 +322,7 @@ func (s *Server[P]) addEntry(name string, c *ukc.Compiled[P], snap *store.Snapsh
 	sh.cacheBytes += ent.bytes
 	sh.rec.Touch(name)
 	sh.mu.Unlock()
+	s.closeMu.RUnlock()
 	s.enforceBudget(sh)
 	return nil
 }
@@ -314,20 +403,31 @@ func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Durat
 	}
 	defer cancel()
 
+	// Derive the task context under the server's stop context: when a drain
+	// deadline expires, Shutdown cancels stopCtx and every in-flight request
+	// aborts at its pipeline's next cancellation check instead of holding the
+	// drain open. AfterFunc costs nothing until stopCtx fires (one stopper
+	// registration per request, released on the deferred stop()).
+	dctx, dcancel := context.WithCancel(ctx)
+	defer dcancel()
+	stop := context.AfterFunc(s.stopCtx, dcancel)
+	defer stop()
+
 	t := &task[P]{
-		ctx:  ctx,
+		ctx:  dctx,
 		ent:  ent,
 		fn:   func(c context.Context) error { return fn(c, ent) },
 		enq:  time.Now(),
 		done: make(chan struct{}),
 	}
 
-	// Admission under the close guard: after Close flips closed, no new
-	// task can enter a queue, so the worker drain in Close is complete.
+	// Admission under the close guard: once Shutdown leaves stateRunning, no
+	// new task can enter a queue, so the queues Shutdown closes are the whole
+	// remaining workload and the worker drain is complete.
 	s.closeMu.RLock()
-	if s.closed {
+	if err := s.admissibleLocked(); err != nil {
 		s.closeMu.RUnlock()
-		return st, ErrClosed
+		return st, err
 	}
 	select {
 	case sh.queue <- t:
@@ -342,12 +442,12 @@ func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Durat
 	select {
 	case <-t.done:
 		return t.stats, t.err
-	case <-ctx.Done():
+	case <-dctx.Done():
 		// Deadline or caller cancellation while queued (or mid-execution —
 		// the worker aborts at the pipeline's next ctx check and discards
 		// its partial work; shard state is never touched by a failed run).
 		st.Queue = time.Since(t.enq)
-		return st, ctx.Err()
+		return st, context.Cause(dctx)
 	}
 }
 
@@ -396,7 +496,7 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 	// rebuild) lands in this instance's build-duration histogram; a solver
 	// tracer, if one is installed, merges with it rather than being
 	// displaced.
-	t.err = t.fn(obs.NewContext(t.ctx, t.ent.tracer))
+	t.err = runGuarded(t.fn, obs.NewContext(t.ctx, t.ent.tracer))
 	t.stats.Exec = time.Since(start)
 	// A warm-cache hit is a request during which no memoized cache was
 	// built. The monotonic build counter (never decremented, not even by
@@ -407,6 +507,8 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 	switch {
 	case t.err == nil:
 		sh.m.completed.Add(1)
+	case errors.Is(t.err, ErrPanicked):
+		sh.m.panicked.Add(1)
 	case errors.Is(t.err, context.Canceled):
 		sh.m.canceled.Add(1)
 	case errors.Is(t.err, context.DeadlineExceeded):
@@ -438,6 +540,27 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 	}
 	sh.mu.Unlock()
 	s.enforceBudget(sh)
+}
+
+// runGuarded runs one workload with panic isolation: a panic anywhere under
+// fn — a solver bug, bad data the validators missed, an injected fault — is
+// recovered here, in the worker goroutine, and converted to a *PanicError
+// carrying the recovered value and the stack captured at the recovery point.
+// The panic is thereby confined to its one request: the worker's loop, the
+// shard's locks and the sibling requests are untouched. The faults.Fire hook
+// is inside the guarded region, so injected panics exercise exactly the
+// recovery path a genuine one would take (and injected errors surface as
+// ordinary workload failures).
+func runGuarded(fn func(ctx context.Context) error, ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faults.Fire("serve.exec"); err != nil {
+		return err
+	}
+	return fn(ctx)
 }
 
 // enforceBudget brings the shard back under its cache budget: while over,
@@ -501,7 +624,11 @@ func (s *Server[P]) enforceBudget(sh *shard[P]) {
 // queue occupancy, cache accounting, the request counters, and latency
 // quantiles over the last latWindow requests.
 func (s *Server[P]) Metrics() Metrics {
-	out := Metrics{Shards: make([]ShardMetrics, len(s.shards))}
+	out := Metrics{
+		Shards:               make([]ShardMetrics, len(s.shards)),
+		SnapshotsQuarantined: s.quarantined.Load(),
+		TempFilesSwept:       s.tmpSwept.Load(),
+	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		instances := len(sh.entries)
@@ -530,6 +657,7 @@ func (s *Server[P]) Metrics() Metrics {
 			Failed:      sh.m.failed.Load(),
 			Canceled:    sh.m.canceled.Load(),
 			Expired:     sh.m.expired.Load(),
+			Panicked:    sh.m.panicked.Load(),
 			CacheHits:   sh.m.hits.Load(),
 			CacheMisses: sh.m.misses.Load(),
 			Evictions:   sh.m.evictions.Load(),
@@ -545,19 +673,102 @@ func (s *Server[P]) Metrics() Metrics {
 	return out
 }
 
-// Close stops admission (every later request and registration fails with
-// ErrClosed), lets the worker pools drain the already-admitted queue, and
-// waits for in-flight work to finish. Idempotent.
-func (s *Server[P]) Close() {
+// Shutdown gracefully drains the server: admission stops immediately (new
+// requests and registrations fail with ErrDraining, then ErrClosed once the
+// drain completes), already-admitted work runs to completion, and the worker
+// pools exit. If ctx expires before the drain finishes, the remaining
+// in-flight requests are canceled (their callers see context.Canceled /
+// their deadline error) and Shutdown still waits for the workers to observe
+// the cancellation before returning ctx's error.
+//
+// With WithFreezeOnShutdown and a snapshot dir configured, every registered
+// instance is frozen to a `.ukc` snapshot after a clean drain (skipped when
+// the drain was aborted — a torn freeze set is worse than none; the writer's
+// tmp+rename discipline keeps each individual file atomic regardless).
+//
+// Shutdown is idempotent and safe to call from any number of goroutines
+// concurrently (and to race with Close): one caller performs the drain,
+// the rest wait for it and return the same result.
+func (s *Server[P]) Shutdown(ctx context.Context) error {
 	s.closeMu.Lock()
-	if s.closed {
+	if s.state != stateRunning {
 		s.closeMu.Unlock()
-		return
+		<-s.drainDone
+		return s.drainErr
 	}
-	s.closed = true
+	s.state = stateDraining
 	for _, sh := range s.shards {
 		close(sh.queue)
 	}
 	s.closeMu.Unlock()
-	s.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline: cancel every in-flight request via the stop
+		// context, then wait again — the workers exit as soon as each
+		// workload observes its cancellation, so this second wait is bounded
+		// by the pipelines' cancellation-check granularity.
+		s.stopCancel()
+		<-done
+		drainErr = fmt.Errorf("serve: drain aborted: %w", ctx.Err())
+	}
+
+	if drainErr == nil && s.cfg.freezeOnShutdown && s.cfg.snapshotDir != "" {
+		if err := s.freezeAll(); err != nil {
+			drainErr = fmt.Errorf("serve: freeze on shutdown: %w", err)
+		}
+	}
+
+	s.closeMu.Lock()
+	s.state = stateClosed
+	s.closeMu.Unlock()
+	s.stopCancel()
+	s.drainErr = drainErr
+	close(s.drainDone)
+	return drainErr
+}
+
+// Close drains the server like Shutdown under the configured drain timeout
+// (WithDrainTimeout; the default waits indefinitely, preserving the
+// historical Close contract that in-flight work always completes).
+// Idempotent and safe to race with Shutdown, Register and requests.
+func (s *Server[P]) Close() {
+	ctx := context.Background()
+	if s.cfg.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.drainTimeout)
+		defer cancel()
+	}
+	_ = s.Shutdown(ctx)
+}
+
+// RetryAfter estimates how long a caller rejected at instance's shard
+// (ErrOverloaded) should wait before retrying: the time for the shard's
+// worker pool to work off its current queue at the recent median execution
+// latency. With an empty latency ring (cold server) it falls back to a small
+// constant. cmd/ukserver surfaces it as the Retry-After header on 429s.
+func (s *Server[P]) RetryAfter(instance string) time.Duration {
+	const floor = 50 * time.Millisecond
+	sh := s.shardFor(instance)
+	depth := len(sh.queue)
+	if depth == 0 {
+		return floor
+	}
+	exec := sh.lat.quantiles().ExecP50
+	if exec <= 0 {
+		return floor
+	}
+	d := time.Duration(float64(exec) * float64(depth) / float64(s.cfg.workers))
+	if d < floor {
+		d = floor
+	}
+	return d
 }

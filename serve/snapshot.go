@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -15,6 +16,12 @@ import (
 // SnapshotExt is the filename extension warm-start scans look for.
 const SnapshotExt = store.SnapshotExt
 
+// QuarantineExt is appended to a corrupt snapshot's filename when it is
+// quarantined: "inst.ukc" becomes "inst.ukc.quarantine". Quarantined files
+// no longer match warm-start scans, so the corruption is remembered on disk
+// for forensics without ever being re-tried at the next boot.
+const QuarantineExt = ".quarantine"
+
 // ErrSnapshotKind is wrapped by RegisterSnapshot when the snapshot's
 // instance kind does not match the server's point type P — a euclidean
 // snapshot offered to a Server[int], or vice versa. Warm-start directory
@@ -22,6 +29,36 @@ const SnapshotExt = store.SnapshotExt
 // over a shared snapshot directory expects each server to claim only its
 // own files.
 var ErrSnapshotKind = errors.New("serve: snapshot kind does not match the server's point type")
+
+// quarantineable reports whether a snapshot-open failure indicates file
+// corruption — the class of error quarantine exists for. Version and
+// endianness mismatches are deliberately excluded: those files are intact,
+// just written by a different build or host, and renaming them would destroy
+// data a compatible process could still read. They abort the boot instead —
+// a deployment error, not bit-rot.
+func quarantineable(err error) bool {
+	return errors.Is(err, store.ErrMagic) ||
+		errors.Is(err, store.ErrTruncated) ||
+		errors.Is(err, store.ErrChecksum) ||
+		errors.Is(err, store.ErrLayout) ||
+		errors.Is(err, store.ErrCorrupt)
+}
+
+// quarantine renames a corrupt snapshot aside, logs the typed cause, and
+// counts it. A rename failure is logged but not fatal: the file simply stays
+// in place and will fail (and be re-quarantined) at the next scan.
+func (s *Server[P]) quarantine(path string, cause error) {
+	qpath := path + QuarantineExt
+	renameErr := os.Rename(path, qpath)
+	s.quarantined.Add(1)
+	if renameErr != nil {
+		s.cfg.logger.Error("serve: snapshot corrupt, quarantine rename failed",
+			"path", path, "cause", cause, "rename_error", renameErr)
+		return
+	}
+	s.cfg.logger.Warn("serve: snapshot quarantined",
+		"path", path, "quarantine", qpath, "cause", cause)
+}
 
 // RegisterSnapshot opens the snapshot at path zero-copy and registers its
 // compiled instance under name: no JSON decode, no validation of
@@ -31,18 +68,23 @@ var ErrSnapshotKind = errors.New("serve: snapshot kind does not match the server
 // mapping stays open for the server process's lifetime; Unregister removes
 // the instance from the registry but never unmaps, because in-flight and
 // Get-held references alias the mapped bytes.
+//
+// A snapshot that fails open with a corruption-class error (ErrMagic,
+// ErrTruncated, ErrChecksum, ErrLayout, ErrCorrupt) is quarantined — renamed
+// to path+".quarantine", logged with the typed cause, and counted in
+// Metrics().SnapshotsQuarantined — before the error is returned.
 func (s *Server[P]) RegisterSnapshot(ctx context.Context, name, path string) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty instance name")
 	}
-	s.closeMu.RLock()
-	closed := s.closed
-	s.closeMu.RUnlock()
-	if closed {
-		return ErrClosed
+	if err := s.admissible(); err != nil {
+		return err
 	}
 	snap, err := store.Open(ctx, path)
 	if err != nil {
+		if quarantineable(err) {
+			s.quarantine(path, err)
+		}
 		return fmt.Errorf("serve: opening snapshot for %q: %w", name, err)
 	}
 	c, ok := snap.Compiled().(*ukc.Compiled[P])
@@ -62,11 +104,15 @@ func (s *Server[P]) RegisterSnapshot(ctx context.Context, name, path string) err
 
 // warmStart re-registers every snapshot in dir (sorted, so the scan order
 // — and therefore shard accounting — is deterministic): each "*.ukc" file
-// becomes an instance named after its base name. Snapshots of the other
-// kind are skipped (see ErrSnapshotKind); any other failure aborts the
-// boot — a corrupt snapshot in the warm-start set is a deployment error,
-// not something to serve around silently.
+// becomes an instance named after its base name. Before the scan, stale
+// "*.ukc.tmp" write temporaries (left by a crash mid-store.Write) are swept.
+// Snapshots of the other kind are skipped (see ErrSnapshotKind); corrupt
+// snapshots are quarantined and skipped — the healthy remainder still
+// serves, which is the whole point of a warm start surviving one bad file.
+// Version/endianness mismatches and I/O errors still abort the boot: those
+// indicate a deployment problem quarantine would only paper over.
 func (s *Server[P]) warmStart(dir string) error {
+	s.sweepTemp(dir)
 	paths, err := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt))
 	if err != nil {
 		return fmt.Errorf("serve: scanning snapshot dir: %w", err)
@@ -75,11 +121,69 @@ func (s *Server[P]) warmStart(dir string) error {
 	for _, p := range paths {
 		name := strings.TrimSuffix(filepath.Base(p), SnapshotExt)
 		if err := s.RegisterSnapshot(context.Background(), name, p); err != nil {
-			if errors.Is(err, ErrSnapshotKind) {
+			if errors.Is(err, ErrSnapshotKind) || quarantineable(err) {
 				continue
 			}
 			return err
 		}
 	}
 	return nil
+}
+
+// sweepTemp removes stale "*.ukc.tmp" files from dir — the write
+// temporaries an interrupted store.Write leaves behind (the rename never
+// happened, so they are dead bytes that would otherwise accumulate forever).
+// Runs once, before the warm-start scan, under New; counted in
+// Metrics().TempFilesSwept and logged per file.
+func (s *Server[P]) sweepTemp(dir string) {
+	tmps, err := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt+".tmp"))
+	if err != nil {
+		return
+	}
+	sort.Strings(tmps)
+	for _, p := range tmps {
+		if err := os.Remove(p); err != nil {
+			s.cfg.logger.Error("serve: stale snapshot temp file, remove failed", "path", p, "error", err)
+			continue
+		}
+		s.tmpSwept.Add(1)
+		s.cfg.logger.Info("serve: swept stale snapshot temp file", "path", p)
+	}
+}
+
+// freezeAll writes every registered instance to the snapshot directory —
+// the WithFreezeOnShutdown tail of a clean drain. Instances whose name is
+// not a clean filename (path separators or traversal) and instances whose
+// point type has no snapshot encoding are skipped with a log line; any
+// write failure is collected and the rest still freeze (errors.Join).
+// Each write is atomic (tmp+rename), so a crash mid-freeze leaves only
+// sweepable temporaries, never a torn snapshot.
+func (s *Server[P]) freezeAll() error {
+	var errs []error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ents := make([]*entry[P], 0, len(sh.entries))
+		for _, ent := range sh.entries {
+			ents = append(ents, ent)
+		}
+		sh.mu.Unlock()
+		sort.Slice(ents, func(a, b int) bool { return ents[a].name < ents[b].name })
+		for _, ent := range ents {
+			if filepath.Base(ent.name) != ent.name || ent.name == "." || ent.name == ".." {
+				s.cfg.logger.Warn("serve: freeze skipped, instance name is not a clean filename", "name", ent.name)
+				continue
+			}
+			path := filepath.Join(s.cfg.snapshotDir, ent.name+SnapshotExt)
+			if _, err := store.Write(context.Background(), path, ent.c); err != nil {
+				if errors.Is(err, store.ErrUnsupported) {
+					s.cfg.logger.Warn("serve: freeze skipped, kind has no snapshot encoding", "name", ent.name)
+					continue
+				}
+				errs = append(errs, fmt.Errorf("freezing %q: %w", ent.name, err))
+				continue
+			}
+			s.cfg.logger.Info("serve: instance frozen on shutdown", "name", ent.name, "path", path)
+		}
+	}
+	return errors.Join(errs...)
 }

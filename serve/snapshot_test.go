@@ -190,8 +190,11 @@ func TestWithSnapshotDirWarmStart(t *testing.T) {
 	}
 }
 
-// TestWithSnapshotDirCorrupt pins the boot-failure contract: a corrupt
-// snapshot in the warm-start set aborts New instead of booting partially.
+// TestWithSnapshotDirCorrupt pins the quarantine contract: a corrupt
+// snapshot in the warm-start set is renamed to "*.quarantine", counted, and
+// skipped — the healthy remainder boots and serves. (Until PR 8 a corrupt
+// file aborted New; the fault-tolerance layer deliberately changed this so
+// one bit-rotted file cannot hold every healthy instance hostage.)
 func TestWithSnapshotDirCorrupt(t *testing.T) {
 	dir := t.TempDir()
 	writeSnapshot(t, dir, "good", ukc.NewEuclideanInstance(snapEuPoints(t, 6)))
@@ -200,12 +203,116 @@ func TestWithSnapshotDirCorrupt(t *testing.T) {
 		t.Fatalf("WriteFile: %v", err)
 	}
 	s, err := serve.New[ukc.Vec](nil, serve.WithSnapshotDir(dir))
-	if err == nil {
-		s.Close()
-		t.Fatalf("New booted against a corrupt snapshot")
+	if err != nil {
+		t.Fatalf("New failed on a corrupt snapshot instead of quarantining it: %v", err)
 	}
-	if !errors.Is(err, store.ErrTruncated) && !errors.Is(err, store.ErrChecksum) {
-		t.Fatalf("New error = %v, want a typed store error", err)
+	defer s.Close()
+	if got, want := s.Names(), []string{"good"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry after quarantine = %v, want %v", got, want)
+	}
+	if _, err := s.Solve(context.Background(), serve.SolveRequest{Instance: "good", K: 3}); err != nil {
+		t.Fatalf("Solve(good) after quarantine: %v", err)
+	}
+	if _, err := os.Stat(bad); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt snapshot still in place: stat err = %v", err)
+	}
+	if _, err := os.Stat(bad + serve.QuarantineExt); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if n := s.Metrics().SnapshotsQuarantined; n != 1 {
+		t.Fatalf("SnapshotsQuarantined = %d, want 1", n)
+	}
+
+	// A second boot over the same dir must not re-trip on the quarantined
+	// file (it no longer matches the scan) and must not double-count.
+	s2, err := serve.New[ukc.Vec](nil, serve.WithSnapshotDir(dir))
+	if err != nil {
+		t.Fatalf("New after quarantine: %v", err)
+	}
+	defer s2.Close()
+	if n := s2.Metrics().SnapshotsQuarantined; n != 0 {
+		t.Fatalf("second boot SnapshotsQuarantined = %d, want 0", n)
+	}
+}
+
+// TestWithSnapshotDirSweepsTemps pins the crash-hygiene satellite: stale
+// "*.ukc.tmp" write temporaries are removed (and counted) at warm start,
+// while real snapshots and unrelated files are untouched.
+func TestWithSnapshotDirSweepsTemps(t *testing.T) {
+	dir := t.TempDir()
+	writeSnapshot(t, dir, "good", ukc.NewEuclideanInstance(snapEuPoints(t, 8)))
+	stale1 := filepath.Join(dir, "good"+serve.SnapshotExt+".tmp")
+	stale2 := filepath.Join(dir, "dead"+serve.SnapshotExt+".tmp")
+	unrelated := filepath.Join(dir, "notes.txt")
+	for _, p := range []string{stale1, stale2, unrelated} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatalf("WriteFile(%s): %v", p, err)
+		}
+	}
+	s, err := serve.New[ukc.Vec](nil, serve.WithSnapshotDir(dir))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	for _, p := range []string{stale1, stale2} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stale temp %s survived the sweep: stat err = %v", p, err)
+		}
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Fatalf("unrelated file swept: %v", err)
+	}
+	if got, want := s.Names(), []string{"good"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry = %v, want %v", got, want)
+	}
+	if n := s.Metrics().TempFilesSwept; n != 2 {
+		t.Fatalf("TempFilesSwept = %d, want 2", n)
+	}
+}
+
+// TestFreezeOnShutdown pins the drain-freeze round trip: a server with
+// WithFreezeOnShutdown writes every registered instance to the snapshot dir
+// on Close, and a second server warm-starts the full set and answers
+// identically.
+func TestFreezeOnShutdown(t *testing.T) {
+	dir := t.TempDir()
+	memA := ukc.NewEuclideanInstance(snapEuPoints(t, 9))
+	memB := ukc.NewEuclideanInstance(snapEuPoints(t, 10))
+
+	s, err := serve.New[ukc.Vec](nil, serve.WithSnapshotDir(dir), serve.WithFreezeOnShutdown(true))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for name, inst := range map[string]ukc.Instance[ukc.Vec]{"a": memA, "b": memB} {
+		if err := s.Register(context.Background(), name, inst); err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+	}
+	want, err := s.Solve(context.Background(), serve.SolveRequest{Instance: "a", K: 3})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	s.Close()
+
+	for _, name := range []string{"a", "b"} {
+		if _, err := os.Stat(filepath.Join(dir, name+serve.SnapshotExt)); err != nil {
+			t.Fatalf("frozen snapshot %s missing: %v", name, err)
+		}
+	}
+	warm, err := serve.New[ukc.Vec](nil, serve.WithSnapshotDir(dir))
+	if err != nil {
+		t.Fatalf("New(warm): %v", err)
+	}
+	defer warm.Close()
+	if got, wantNames := warm.Names(), []string{"a", "b"}; !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("warm registry = %v, want %v", got, wantNames)
+	}
+	got, err := warm.Solve(context.Background(), serve.SolveRequest{Instance: "a", K: 3})
+	if err != nil {
+		t.Fatalf("Solve(warm): %v", err)
+	}
+	if !reflect.DeepEqual(want.Result, got.Result) {
+		t.Fatalf("freeze/thaw solve diverges")
 	}
 }
 
