@@ -14,7 +14,12 @@ BENCH_OUT ?= BENCH_PR7.json
 # and the warm unassigned workload.
 SERVE_BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all vet fmt-check build test test-race test-faults fuzz-arena bench bench-parallel bench-json bench-serve examples check ci
+# Candidate-index trajectory output of bench-index (the PR-9 tentpole):
+# the off/prune/approx scan sweep on the n=m=1000 instance, with ns/scan,
+# prune_rate and cost_ratio reported per mode.
+INDEX_BENCH_OUT ?= BENCH_PR9.json
+
+.PHONY: all vet fmt-check build test test-race test-faults fuzz-arena fuzz-bound bench bench-parallel bench-json bench-serve bench-index examples check ci
 
 all: check
 
@@ -49,6 +54,13 @@ FUZZTIME ?= 5m
 fuzz-arena:
 	$(GO) test -fuzz FuzzOpen -fuzztime $(FUZZTIME) -run '^$$' ./internal/arena
 
+# fuzz-bound runs the candidate-index soundness fuzzer for $(FUZZTIME):
+# random metric instances through LowerBound(base, c) ≤ EvalSwap(base, c) +
+# 1e-12 — the inequality CandIndexPrune's bit-identical-trajectory claim
+# rests on (nightly CI).
+fuzz-bound:
+	$(GO) test -fuzz FuzzLowerBound -fuzztime $(FUZZTIME) -run '^$$' ./internal/core
+
 # Full benchmark sweep (slow); bench-parallel records just the
 # sequential-vs-worker-pool trajectory (BENCH_*.json inputs).
 bench:
@@ -78,6 +90,18 @@ bench-json:
 # direct Solver call, and the warm unassigned workload.
 bench-serve:
 	$(GO) test -json -run '^$$' -benchmem -bench 'BenchmarkServe' ./serve > $(SERVE_BENCH_OUT)
+
+# bench-index records the candidate-index quality/speed curve into
+# $(INDEX_BENCH_OUT): BenchmarkCandIndexScan/{off,prune,approx} on the
+# n=m=1000 acceptance instance. The off row is the PR-3 oracle scan (the
+# "old" side), prune/approx are the indexed scans (the "new" side); compare
+# their ns/scan like a benchstat old-vs-new pair — same instance, same
+# seeds, so the ratio is the per-scan speedup, prune_rate is the fraction
+# of candidate evaluations the pivot bound skipped (acceptance floor 0.50,
+# enforced inside the bench), and cost_ratio pins prune at exactly 1.0
+# (bit-identical) while recording approx's quality trade.
+bench-index:
+	$(GO) test -json -run '^$$' -benchmem -benchtime 1x -bench 'BenchmarkCandIndexScan' . > $(INDEX_BENCH_OUT)
 
 examples:
 	$(GO) run ./examples/quickstart

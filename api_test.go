@@ -224,7 +224,10 @@ func TestContextCancellation(t *testing.T) {
 // large local search is grinding through its swap neighborhood; the solve
 // must abort with ctx.Err() long before running to completion.
 func TestContextCancellationMidSolve(t *testing.T) {
-	inst := euclideanInstance(t, 29, 60, 4) // 240 candidate locations
+	// 480 candidate locations: with the candidate index pruning by default
+	// the whole solve still takes >100ms, so a 20ms deadline reliably lands
+	// mid-descent rather than after completion.
+	inst := euclideanInstance(t, 29, 120, 4)
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()

@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids: e1,rows,e8,e9,c1,a1,a2,a3,a4,x1,r2,r3 or all")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids: e1,rows,e8,e9,c1,a1,a2,a3,a4,x1,r2,r3,r4 or all")
 		quick    = flag.Bool("quick", false, "small instances (CI-sized)")
 		trials   = flag.Int("trials", 0, "trials per cell (0 = default)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -58,8 +58,9 @@ func run() error {
 		"x1":   harness.RunX1,
 		"r2":   harness.RunR2,
 		"r3":   harness.RunR3,
+		"r4":   harness.RunR4,
 	}
-	order := []string{"e1", "rows", "e8", "e9", "c1", "a1", "a2", "a3", "a4", "x1", "r2", "r3"}
+	order := []string{"e1", "rows", "e8", "e9", "c1", "a1", "a2", "a3", "a4", "x1", "r2", "r3", "r4"}
 
 	var selected []string
 	if *exp == "all" {

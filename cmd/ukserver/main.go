@@ -264,11 +264,29 @@ type workloadRequest struct {
 	K          int             `json:"k,omitempty"`
 	Centers    json.RawMessage `json:"centers,omitempty"`
 	Assign     []int           `json:"assign,omitempty"`
+	Index      string          `json:"index,omitempty"`
 	DeadlineMS int64           `json:"deadline_ms,omitempty"`
 }
 
 func (r workloadRequest) deadline() time.Duration {
 	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+// indexMode maps the wire-level candidate-index selector onto the typed
+// mode. Empty defers to the server solver's WithCandidateIndex option (the
+// serving layer's zero-value contract); anything else must name a mode.
+func (r workloadRequest) indexMode() (ukc.CandidateIndexMode, error) {
+	switch r.Index {
+	case "":
+		return ukc.CandIndexDefault, nil
+	case "off":
+		return ukc.CandIndexOff, nil
+	case "prune":
+		return ukc.CandIndexPrune, nil
+	case "approx":
+		return ukc.CandIndexApprox, nil
+	}
+	return 0, fmt.Errorf("unknown index mode %q (want off, prune or approx)", r.Index)
 }
 
 // statsOut is the telemetry block attached to every workload response.
@@ -478,29 +496,32 @@ func (g *gateway) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // shardOut is the wire shape of one shard's metrics snapshot.
 type shardOut struct {
-	Shard       int     `json:"shard"`
-	Instances   int     `json:"instances"`
-	QueueDepth  int     `json:"queue_depth"`
-	QueueCap    int     `json:"queue_cap"`
-	CacheBytes  int64   `json:"cache_bytes"`
-	CacheBudget int64   `json:"cache_budget"`
-	Admitted    uint64  `json:"admitted"`
-	Rejected    uint64  `json:"rejected"`
-	Completed   uint64  `json:"completed"`
-	Failed      uint64  `json:"failed"`
-	Canceled    uint64  `json:"canceled"`
-	Expired     uint64  `json:"expired"`
-	Panicked    uint64  `json:"panicked"`
-	CacheHits   uint64  `json:"cache_hits"`
-	CacheMisses uint64  `json:"cache_misses"`
-	Evictions   uint64  `json:"evictions"`
-	HitRate     float64 `json:"hit_rate"`
-	P50MS       float64 `json:"latency_p50_ms"`
-	P99MS       float64 `json:"latency_p99_ms"`
-	QueueP50MS  float64 `json:"queue_p50_ms"`
-	QueueP99MS  float64 `json:"queue_p99_ms"`
-	ExecP50MS   float64 `json:"exec_p50_ms"`
-	ExecP99MS   float64 `json:"exec_p99_ms"`
+	Shard        int     `json:"shard"`
+	Instances    int     `json:"instances"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	CacheBudget  int64   `json:"cache_budget"`
+	Admitted     uint64  `json:"admitted"`
+	Rejected     uint64  `json:"rejected"`
+	Completed    uint64  `json:"completed"`
+	Failed       uint64  `json:"failed"`
+	Canceled     uint64  `json:"canceled"`
+	Expired      uint64  `json:"expired"`
+	Panicked     uint64  `json:"panicked"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	Evictions    uint64  `json:"evictions"`
+	HitRate      float64 `json:"hit_rate"`
+	PruneScanned uint64  `json:"prune_scanned"`
+	PrunePruned  uint64  `json:"prune_pruned"`
+	PruneRate    float64 `json:"prune_rate"`
+	P50MS        float64 `json:"latency_p50_ms"`
+	P99MS        float64 `json:"latency_p99_ms"`
+	QueueP50MS   float64 `json:"queue_p50_ms"`
+	QueueP99MS   float64 `json:"queue_p99_ms"`
+	ExecP50MS    float64 `json:"exec_p50_ms"`
+	ExecP99MS    float64 `json:"exec_p99_ms"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
@@ -509,29 +530,32 @@ func metricsOut(m serve.Metrics) []shardOut {
 	out := make([]shardOut, 0, len(m.Shards)+1)
 	for _, s := range append(m.Shards, m.Totals()) {
 		out = append(out, shardOut{
-			Shard:       s.Shard,
-			Instances:   s.Instances,
-			QueueDepth:  s.QueueDepth,
-			QueueCap:    s.QueueCap,
-			CacheBytes:  s.CacheBytes,
-			CacheBudget: s.CacheBudget,
-			Admitted:    s.Admitted,
-			Rejected:    s.Rejected,
-			Completed:   s.Completed,
-			Failed:      s.Failed,
-			Canceled:    s.Canceled,
-			Expired:     s.Expired,
-			Panicked:    s.Panicked,
-			CacheHits:   s.CacheHits,
-			CacheMisses: s.CacheMisses,
-			Evictions:   s.Evictions,
-			HitRate:     s.HitRate(),
-			P50MS:       ms(s.LatencyP50),
-			P99MS:       ms(s.LatencyP99),
-			QueueP50MS:  ms(s.QueueP50),
-			QueueP99MS:  ms(s.QueueP99),
-			ExecP50MS:   ms(s.ExecP50),
-			ExecP99MS:   ms(s.ExecP99),
+			Shard:        s.Shard,
+			Instances:    s.Instances,
+			QueueDepth:   s.QueueDepth,
+			QueueCap:     s.QueueCap,
+			CacheBytes:   s.CacheBytes,
+			CacheBudget:  s.CacheBudget,
+			Admitted:     s.Admitted,
+			Rejected:     s.Rejected,
+			Completed:    s.Completed,
+			Failed:       s.Failed,
+			Canceled:     s.Canceled,
+			Expired:      s.Expired,
+			Panicked:     s.Panicked,
+			CacheHits:    s.CacheHits,
+			CacheMisses:  s.CacheMisses,
+			Evictions:    s.Evictions,
+			HitRate:      s.HitRate(),
+			PruneScanned: s.PruneScanned,
+			PrunePruned:  s.PrunePruned,
+			PruneRate:    s.PruneRate(),
+			P50MS:        ms(s.LatencyP50),
+			P99MS:        ms(s.LatencyP99),
+			QueueP50MS:   ms(s.QueueP50),
+			QueueP99MS:   ms(s.QueueP99),
+			ExecP50MS:    ms(s.ExecP50),
+			ExecP99MS:    ms(s.ExecP99),
 		})
 	}
 	return out
@@ -669,7 +693,11 @@ func doSweep[P any](srv *serve.Server[P], ctx context.Context, req workloadReque
 }
 
 func doUnassigned[P any](srv *serve.Server[P], ctx context.Context, req workloadRequest) (any, error) {
-	resp, err := srv.SolveUnassigned(ctx, serve.UnassignedRequest{Instance: req.Instance, K: req.K, Deadline: req.deadline()})
+	mode, err := req.indexMode()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := srv.SolveUnassigned(ctx, serve.UnassignedRequest{Instance: req.Instance, K: req.K, Index: mode, Deadline: req.deadline()})
 	if err != nil {
 		return nil, err
 	}
@@ -749,6 +777,9 @@ func (g *gateway) selfcheck(logger *slog.Logger) error {
 		{"assign-finite", http.MethodPost, "/v1/assign", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
 		{"unassigned-euclidean", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-eu","k":2}`), http.StatusOK},
 		{"unassigned-finite", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-fin","k":2}`), http.StatusOK},
+		{"unassigned-exact", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-eu","k":2,"index":"off"}`), http.StatusOK},
+		{"unassigned-approx", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-eu","k":2,"index":"approx"}`), http.StatusOK},
+		{"unassigned-bad-index", http.MethodPost, "/v1/unassigned", jsonBody(`{"instance":"smoke-eu","k":2,"index":"bogus"}`), http.StatusUnprocessableEntity},
 		{"ecost-euclidean", http.MethodPost, "/v1/ecost", jsonBody(`{"instance":"smoke-eu","centers":[[0,0],[4,4]]}`), http.StatusOK},
 		{"ecost-finite", http.MethodPost, "/v1/ecost", jsonBody(`{"instance":"smoke-fin","centers":[0,3]}`), http.StatusOK},
 		{"sweep-euclidean", http.MethodPost, "/v1/sweep", jsonBody(`{"instance":"smoke-eu","centers":[[0,0],[4,4]]}`), http.StatusOK},
@@ -991,6 +1022,9 @@ func scrapeProm(client *http.Client, base string) error {
 	}
 	if builds, _ := sum("ukc_serve_instance_cache_build_seconds_count", map[string]string{"instance": "smoke-fin"}); builds < 1 {
 		return fmt.Errorf("smoke-fin cache-build histogram count = %v, want >= 1 (cold solve must record a build)", builds)
+	}
+	if scanned, _ := sum("ukc_serve_prune_total", map[string]string{"event": "scanned"}); scanned < 1 {
+		return fmt.Errorf("prune_total scanned = %v, want >= 1 (default-pruned unassigned solves must account their scans)", scanned)
 	}
 	return nil
 }

@@ -118,6 +118,8 @@ type Compiled[P any] struct {
 	surrOCFree memo[[]P]               // continuous 1-centers P̃ (Euclidean, no candidates)
 	surrOCCand memo[[]P]               // 1-centers P̃ over CandidatesOrLocations()
 	evCache    memo[*SwapEvaluator[P]] // n×m distance-RV table over CandidatesOrLocations()
+	ciCache    memo[*CandIndex[P]]     // pivot index at DefaultIndexPivots
+	cgCache    memo[*CandGraph]        // neighborhood graph at DefaultGraphDegree
 
 	builds atomic.Uint64 // completed cache builds (see CacheBuilds)
 }
@@ -399,6 +401,79 @@ func (c *Compiled[P]) Evaluator(ctx context.Context, workers int) (*SwapEvaluato
 	})
 }
 
+// CandIndex returns the pivot layer of the instance's candidate index over
+// CandidatesOrLocations(): P pivots seeded maxmin, the P×m pivot→candidate
+// distance table, and the per-candidate expected-distance surrogates read
+// off the evaluator's columns (building the evaluator first if needed — the
+// index is only ever consulted on the cached scan path). pivots <= 0 selects
+// DefaultIndexPivots, the memoized build shared by every later call; any
+// other pivot count is computed fresh without touching the cache, the same
+// precedent Surrogates sets for foreign candidate sets.
+func (c *Compiled[P]) CandIndex(ctx context.Context, pivots, workers int) (*CandIndex[P], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if pivots <= 0 {
+		pivots = DefaultIndexPivots
+	}
+	build := func() (*CandIndex[P], error) {
+		ev, err := c.Evaluator(ctx, workers)
+		if err != nil {
+			return nil, err
+		}
+		sp := obs.StartSpan(obs.FromContext(ctx), "candindex.build")
+		ix, err := newCandIndex(ctx, c, ev, pivots, workers)
+		if err != nil {
+			return nil, err
+		}
+		sp.Int("pivots", ix.NumPivots())
+		sp.Int("candidates", len(ix.expDist))
+		sp.Int64("bytes", ix.Bytes())
+		sp.End()
+		return ix, nil
+	}
+	if pivots == DefaultIndexPivots {
+		return c.ciCache.get(&c.builds, build)
+	}
+	return build()
+}
+
+// CandGraph returns the neighborhood layer of the instance's candidate
+// index: the degree-NN graph over CandidatesOrLocations() built by
+// deterministic NN-descent. degree <= 0 selects DefaultGraphDegree, the
+// memoized build; any other degree is computed fresh without touching the
+// cache.
+func (c *Compiled[P]) CandGraph(ctx context.Context, degree, workers int) (*CandGraph, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if degree <= 0 {
+		degree = DefaultGraphDegree
+	}
+	build := func() (*CandGraph, error) {
+		sp := obs.StartSpan(obs.FromContext(ctx), "candgraph.build")
+		g, err := newCandGraph(ctx, c.space, c.CandidatesOrLocations(), degree, workers)
+		if err != nil {
+			return nil, err
+		}
+		sp.Int("degree", g.Degree())
+		sp.Int("candidates", g.m)
+		sp.Int64("bytes", g.Bytes())
+		sp.End()
+		return g, nil
+	}
+	if degree == DefaultGraphDegree {
+		return c.cgCache.get(&c.builds, build)
+	}
+	return build()
+}
+
 // buildSpan starts the span a memoized surrogate build reports through:
 // the shared name prefix ("surrogate.build.*") is what serving-layer
 // tracers key their cache-build histograms on, and the bytes attribute is
@@ -433,7 +508,10 @@ func (c *Compiled[P]) surrogateElemBytes() int64 {
 //     space;
 //   - the distance-RV swap evaluator costs 12·m·N bytes — one float64
 //     distance and one int32 sort index per (candidate, atom) pair — the
-//     dominant term for any nontrivial candidate set.
+//     dominant term for any nontrivial candidate set;
+//   - the candidate-index pivot layer costs 8·P·m + 8·m + 4·P bytes and the
+//     neighborhood graph 4·K·m bytes (§11) — small next to the evaluator,
+//     but metered all the same so eviction accounting stays exact.
 //
 // The compiled arena itself (flat atoms, offsets, pruned point views) is
 // NOT counted: it is the instance's identity, not a cache, and DropCaches
@@ -455,11 +533,18 @@ func (c *Compiled[P]) CacheBytes() int64 {
 	if ev, ok := c.evCache.peek(); ok && ev != nil {
 		total += 12 * int64(len(ev.cols)) * int64(ev.NumAtoms())
 	}
+	if ix, ok := c.ciCache.peek(); ok && ix != nil {
+		total += ix.Bytes()
+	}
+	if g, ok := c.cgCache.peek(); ok && g != nil {
+		total += g.Bytes()
+	}
 	return total
 }
 
-// DropCaches releases every memoized cache — both surrogate kinds and the
-// distance-RV swap evaluator — returning CacheBytes to zero while keeping
+// DropCaches releases every memoized cache — both surrogate kinds, the
+// distance-RV swap evaluator, and the candidate index's pivot and graph
+// layers — returning CacheBytes to zero while keeping
 // the compiled arena (validation, pruning and flattening are never redone).
 // The next solve that needs a dropped cache rebuilds it lazily and, because
 // every build is deterministic, produces bit-identical results to a solve
@@ -472,6 +557,8 @@ func (c *Compiled[P]) DropCaches() {
 	c.surrOCFree.drop()
 	c.surrOCCand.drop()
 	c.evCache.drop()
+	c.ciCache.drop()
+	c.cgCache.drop()
 }
 
 // SnapToCandidates returns, for each center, the index of its nearest

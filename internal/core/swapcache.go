@@ -290,7 +290,8 @@ func EcostSweepCompiled[P any](ctx context.Context, c *Compiled[P], chosen []int
 	sp.Int("k", len(chosen))
 	sp.Int("candidates", len(candidates))
 	if disableCache {
-		out, err := ecostSweepScratch(ctx, c, candidates, chosen, workers)
+		scr := c.newFlatScratches(len(chosen), workers)
+		out, err := ecostSweepFlatRows(ctx, c, candidates, scr, chosen, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -306,38 +307,53 @@ func EcostSweepCompiled[P any](ctx context.Context, c *Compiled[P], chosen []int
 	for w := range scratches {
 		scratches[w] = ev.NewScratch()
 	}
+	out, err := ecostSweepRows(ctx, ev, base, scratches, chosen, workers)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	return out, nil
+}
+
+// ecostSweepRows fills the k×m sweep matrix on caller-owned scan state —
+// the shared inner loop of EcostSweepCompiled (fresh state per call) and
+// SolveUnassignedLSSweepCompiled (the descent's state, reused: satellite of
+// the candidate-index PR — the sweep then allocates only its result rows).
+func ecostSweepRows[P any](ctx context.Context, ev *SwapEvaluator[P], base *SwapBase, scratches []*SwapScratch, chosen []int, workers int) ([][]float64, error) {
+	m := len(ev.cols)
 	out := make([][]float64, len(chosen))
 	for pos := range chosen {
 		ev.PrepareBase(base, chosen, pos)
-		row := make([]float64, len(candidates))
-		if err := par.ForWorker(ctx, len(candidates), workers, func(w, cd int) {
+		row := make([]float64, m)
+		if err := par.ForWorker(ctx, m, workers, func(w, cd int) {
 			row[cd] = ev.EvalSwap(base, scratches[w], cd)
 		}); err != nil {
 			return nil, err
 		}
 		out[pos] = row
 	}
-	sp.End()
 	return out, nil
 }
 
-// ecostSweepScratch is the sweep without the distance-RV table: every
-// (position, candidate) entry is a from-scratch exact evaluation on
-// per-worker scratch (center buffer, flat distance values, sweep arena).
-func ecostSweepScratch[P any](ctx context.Context, c *Compiled[P], candidates []P, chosen []int, workers int) ([][]float64, error) {
+// ecostSweepFlatRows is the sweep without the distance-RV table: every
+// (position, candidate) entry is a from-scratch exact evaluation on the
+// caller's per-worker scratches (center buffer, flat distance values, sweep
+// arena), which may be sized for more centers than len(chosen) — the
+// oracle descent shares its k-sized scratches here.
+func ecostSweepFlatRows[P any](ctx context.Context, c *Compiled[P], candidates []P, scr []*flatScratch[P], chosen []int, workers int) ([][]float64, error) {
 	base := make([]P, len(chosen))
 	for i, ch := range chosen {
 		base[i] = candidates[ch]
 	}
-	scr := c.newFlatScratches(len(chosen), workers)
 	out := make([][]float64, len(chosen))
 	for pos := range chosen {
 		row := make([]float64, len(candidates))
 		if err := par.ForWorker(ctx, len(candidates), workers, func(w, cd int) {
 			s := scr[w]
-			copy(s.centers, base)
-			s.centers[pos] = candidates[cd]
-			row[cd] = c.ecostUnassignedFlat(s.centers, s.vals, &s.arena)
+			cent := s.centers[:len(chosen)]
+			copy(cent, base)
+			cent[pos] = candidates[cd]
+			row[cd] = c.ecostUnassignedFlat(cent, s.vals, &s.arena)
 		}); err != nil {
 			return nil, err
 		}

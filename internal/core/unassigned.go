@@ -28,8 +28,25 @@ type LocalSearchOptions struct {
 	// atom) pair and, on a compiled instance, is memoized for the instance
 	// lifetime; disable it when m·Σz_i is too large to hold in memory.
 	// Costs agree with the cached path to ≤ 1e-12 relative and the swap
-	// trajectories are identical (pinned by tests).
+	// trajectories are identical (pinned by tests). Disabling the cache
+	// also disables the candidate index (it consumes the cached columns),
+	// so the oracle path stays pure.
 	DisableSwapCache bool
+	// CandidateIndex selects how the neighborhood scan uses the instance's
+	// candidate index: CandIndexPrune (the default, reached through
+	// CandIndexDefault) keeps the scan exact but skips candidates whose
+	// triangle-inequality lower bound certifies they cannot beat the
+	// incumbent — bit-identical trajectories at a fraction of the
+	// evaluations; CandIndexApprox restricts the scan to the neighborhood
+	// graph of the current centers (explicitly approximate);
+	// CandIndexOff scans everything (the oracle).
+	CandidateIndex CandidateIndexMode
+	// IndexPivots sets the pivot count of the prune bound
+	// (0 = DefaultIndexPivots; only the default is memoized).
+	IndexPivots int
+	// GraphDegree sets the per-node degree of the approximate neighborhood
+	// graph (0 = DefaultGraphDegree; only the default is memoized).
+	GraphDegree int
 }
 
 // Workers normalizes Parallelism to a worker count; see Options.Workers.
@@ -83,20 +100,114 @@ func SolveUnassignedLS[P any](ctx context.Context, space metricspace.Space[P], p
 //
 // Repeated calls on one Compiled reuse its memoized 1-center surrogates
 // (the seeds) and — unless DisableSwapCache — its memoized distance-RV
-// evaluator, so only the descent itself is paid per solve. The neighborhood
-// scan (one exact evaluation per candidate, the hot loop) checks ctx
-// between chunks and aborts with ctx.Err(); Parallelism > 1 fans the scan
-// out over a worker pool with bit-identical results.
+// evaluator, so only the descent itself is paid per solve. By default
+// (CandidateIndex unset, i.e. CandIndexPrune) the scan additionally skips
+// every candidate whose pivot lower bound certifies it cannot beat the
+// incumbent — the trajectory is bit-identical to the unpruned scan (see
+// CandIndex) while typically evaluating a small fraction of the
+// neighborhood. The neighborhood scan checks ctx between chunks and aborts
+// with ctx.Err(); Parallelism > 1 fans the scan out over a worker pool with
+// bit-identical results.
 func SolveUnassignedLSCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts LocalSearchOptions) ([]P, float64, error) {
+	chosen, cost, _, err := solveUnassignedLS(ctx, c, k, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return selectCandidates(c.CandidatesOrLocations(), chosen), cost, nil
+}
+
+// SolveUnassignedLSSweepCompiled runs the local-search descent and then
+// evaluates the full single-swap neighborhood of the winning centers — the
+// EcostSweepCompiled matrix — reusing the descent's prepared scan state
+// (the memoized evaluator plus the per-scan base and per-worker scratches
+// the final round already has in hand) instead of allocating a fresh set.
+// The combined call allocates only the k result rows beyond the solve
+// itself (alloc-pinned by tests); the matrix is exact — the full sweep
+// never prunes, whatever the solve's CandidateIndex mode. Returns the
+// centers, their cost, the sweep matrix and the chosen candidate indices
+// (sweep[pos][c] = cost of centers with position pos replaced by candidate
+// c; chosen indexes CandidatesOrLocations()).
+func SolveUnassignedLSSweepCompiled[P any](ctx context.Context, c *Compiled[P], k int, opts LocalSearchOptions) ([]P, float64, [][]float64, []int, error) {
+	chosen, cost, ds, err := solveUnassignedLS(ctx, c, k, opts)
+	if err != nil {
+		return nil, 0, nil, nil, err
+	}
+	candidates := c.CandidatesOrLocations()
+	sp := obs.StartSpan(obs.FromContext(ctx), "sweep")
+	sp.Int("k", len(chosen))
+	sp.Int("candidates", len(candidates))
+	sp.Int("reused", 1)
+	var sweep [][]float64
+	if ds.ev != nil {
+		sweep, err = ecostSweepRows(ctx, ds.ev, ds.base, ds.scratches, chosen, ds.workers)
+	} else {
+		sweep, err = ecostSweepFlatRows(ctx, c, candidates, ds.flat, chosen, ds.workers)
+	}
+	if err != nil {
+		return nil, 0, nil, nil, err
+	}
+	sp.End()
+	return selectCandidates(candidates, chosen), cost, sweep, chosen, nil
+}
+
+// selectCandidates materializes candidate indices as points.
+func selectCandidates[P any](candidates []P, idx []int) []P {
+	out := make([]P, len(idx))
+	for i, c := range idx {
+		out[i] = candidates[c]
+	}
+	return out
+}
+
+// descentState is the scan state shared by every descent of one solve (and
+// by a trailing sweep on the SolveUnassignedLSSweepCompiled path): the
+// evaluator with its per-scan base and per-worker scratches, the candidate
+// index's pivot/graph layers with their per-position prune state, and — on
+// the oracle path — the per-worker from-scratch scratches. Allocated once
+// per solve; both seed descents and the final-round sweep reuse it.
+type descentState[P any] struct {
+	workers int
+
+	// Cached path (ev != nil).
+	ev        *SwapEvaluator[P]
+	base      *SwapBase
+	scratches []*SwapScratch
+
+	// Candidate index (nil in CandIndexOff / oracle mode).
+	ix       *CandIndex[P]
+	st       *PruneState
+	pivotOrd []int32    // candidate -> pivot ordinal, -1 when not a pivot
+	gr       *CandGraph // non-nil only in CandIndexApprox
+	mark     []bool     // approx scan set, rebuilt per position
+
+	// Oracle path (ev == nil).
+	flat []*flatScratch[P]
+}
+
+// pruneStats aggregates one descent's scan accounting: candidates scanned
+// (in the scan set and not currently centers), candidates pruned by the
+// lower bound without evaluation, and bound failures (bound computed but
+// too weak — the candidate was evaluated exactly). Pivot evaluations count
+// as scanned but neither pruned nor failed.
+type pruneStats struct {
+	scanned, pruned, boundFail int
+}
+
+// solveUnassignedLS is the shared engine behind SolveUnassignedLSCompiled
+// and SolveUnassignedLSSweepCompiled: resolve the index mode, build the
+// shared descent state, run the two seed descents, return the winner's
+// candidate indices plus the state for a caller that wants to keep
+// scanning with it.
+func solveUnassignedLS[P any](ctx context.Context, c *Compiled[P], k int, opts LocalSearchOptions) ([]int, float64, *descentState[P], error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if c == nil {
-		return nil, 0, fmt.Errorf("core: nil compiled instance")
+		return nil, 0, nil, fmt.Errorf("core: nil compiled instance")
 	}
 	candidates := c.CandidatesOrLocations()
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("core: k = %d", k)
+		return nil, 0, nil, fmt.Errorf("core: k = %d", k)
 	}
 	if k > len(candidates) {
 		k = len(candidates)
@@ -113,97 +224,182 @@ func SolveUnassignedLSCompiled[P any](ctx context.Context, c *Compiled[P], k int
 	// instance's memoized cache.
 	surr, err := c.Surrogates(ctx, SurrogateOneCenter, candidates, opts.Workers())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	space := c.Space()
 	seeds := [][]int{
 		greedySeed(space, surr, candidates, k),
 		farthestFirstSeed(space, candidates, k),
 	}
-	// The distance-RV cache depends only on (pts, candidates), so the
-	// instance's memoized evaluator serves every seed's descent — and every
-	// later solve of the same instance.
-	var ev *SwapEvaluator[P]
-	if !opts.DisableSwapCache {
-		ev, err = c.Evaluator(ctx, opts.Workers())
+
+	// The index modes all live on the cached evaluator (the pivot
+	// surrogates are read off its columns), so DisableSwapCache forces the
+	// pure oracle: no cache, no index, from-scratch evaluations only.
+	mode := opts.CandidateIndex.resolve()
+	ds := &descentState[P]{workers: opts.Workers()}
+	if opts.DisableSwapCache {
+		ds.flat = c.newFlatScratches(k, ds.workers)
+	} else {
+		// The distance-RV cache depends only on (pts, candidates), so the
+		// instance's memoized evaluator serves every seed's descent — and
+		// every later solve of the same instance.
+		ds.ev, err = c.Evaluator(ctx, ds.workers)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
+		}
+		ds.base = ds.ev.NewBase()
+		ds.scratches = make([]*SwapScratch, ds.workers)
+		for w := range ds.scratches {
+			ds.scratches[w] = ds.ev.NewScratch()
+		}
+		if mode != CandIndexOff {
+			ds.ix, err = c.CandIndex(ctx, opts.IndexPivots, ds.workers)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			ds.st = ds.ix.NewPruneState()
+			ds.pivotOrd = make([]int32, len(candidates))
+			for i := range ds.pivotOrd {
+				ds.pivotOrd[i] = -1
+			}
+			for ord, p := range ds.ix.Pivots() {
+				ds.pivotOrd[p] = int32(ord)
+			}
+			if mode == CandIndexApprox {
+				ds.gr, err = c.CandGraph(ctx, opts.GraphDegree, ds.workers)
+				if err != nil {
+					return nil, 0, nil, err
+				}
+				ds.mark = make([]bool, len(candidates))
+			}
 		}
 	}
-	var bestCenters []P
+
+	var bestChosen []int
 	bestCost := math.Inf(1)
 	for _, seed := range seeds {
-		centers, cost, err := swapDescent(ctx, c, candidates, seed, maxIter, opts.Workers(), ev)
+		chosen, cost, err := swapDescent(ctx, c, candidates, seed, maxIter, ds)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		if cost < bestCost {
-			bestCenters, bestCost = centers, cost
+			bestChosen, bestCost = chosen, cost
 		}
 	}
-	return bestCenters, bestCost, nil
+	return bestChosen, bestCost, ds, nil
 }
 
 // swapDescent runs best-improvement single-swap local search on the exact
-// unassigned cost from the given seed. Each neighborhood scan evaluates
-// every out-of-set candidate on the worker pool, then applies the
-// deterministic left-to-right selection rule over the computed costs, so
-// any worker count yields the sequential trajectory.
+// unassigned cost from the given seed. Each neighborhood scan evaluates the
+// scan set on the worker pool, then applies the deterministic left-to-right
+// selection rule over the computed costs, so any worker count yields the
+// sequential trajectory.
 //
-// With a non-nil SwapEvaluator the scan runs on the incremental path: one
+// With a non-nil evaluator the scan runs on the incremental path: one
 // PrepareBase per position, then a zero-metric-call, allocation-free
-// EvalSwap per candidate. With ev == nil it evaluates every swap from
-// scratch on the compiled flat layout (the cross-check oracle), reusing
-// per-worker center/value/arena scratch across the whole descent.
+// EvalSwap per candidate. With a pivot index (CandIndexPrune, the default)
+// each position first evaluates the P pivots exactly, then skips every
+// candidate whose lower bound LowerBound(c) ≥ cost₀, where cost₀ is the
+// current solution's cost at scan entry. That pruning is provably safe:
+// the selection rule only accepts costs[c] < best·(1−1e-9) with best ≤
+// cost₀, and the bound guarantees the exact cost of a pruned candidate is
+// ≥ cost₀ up to ~1e-12 roundoff — three orders of magnitude inside the
+// 1e-9 acceptance slack — so a pruned candidate could never have been
+// selected. Pruned (and, in CandIndexApprox, out-of-neighborhood)
+// candidates are marked +Inf, leaving the selection rule untouched;
+// trajectories are therefore bit-identical to the unpruned scan,
+// independent of worker count, pinned by tests. With ds.ev == nil it
+// evaluates every swap from scratch on the compiled flat layout (the
+// cross-check oracle), reusing per-worker center/value/arena scratch
+// across the whole descent.
+//
 // Instrumentation: each completed swap round reports an "ls.iter" span —
 // swaps evaluated, improvements taken, and the round-end E-cost in
 // micro-units, i.e. the cost trajectory — and the whole descent reports one
-// "ls.descent" span with the totals. With no tracer on ctx every span is
-// inert (zero allocations, no clock reads); the per-candidate inner loop is
-// never instrumented at all.
-func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, seed []int, maxIter, workers int, ev *SwapEvaluator[P]) ([]P, float64, error) {
+// "ls.descent" span with the totals, plus one "ls.prune" span (pivot count,
+// candidates scanned, pruned, bound failures) when an index is active. With
+// no tracer on ctx every span is inert (zero allocations, no clock reads);
+// the per-candidate inner loop is never instrumented at all.
+func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, seed []int, maxIter int, ds *descentState[P]) ([]int, float64, error) {
+	workers := ds.workers
 	if workers < 1 {
 		workers = 1
 	}
 	tracer := obs.FromContext(ctx)
 	dsp := obs.StartSpan(tracer, "ls.descent")
 	chosen := append([]int(nil), seed...)
-	sel := func(idx []int) []P {
-		out := make([]P, len(idx))
-		for i, c := range idx {
-			out[i] = candidates[c]
-		}
-		return out
-	}
 	inSet := make(map[int]bool, len(chosen))
 	for _, c := range chosen {
 		inSet[c] = true
 	}
 	costs := make([]float64, len(candidates))
+	var stats pruneStats
 
 	// scanPos fills costs[c] with the exact cost of replacing chosen[pos]
-	// by c, for every out-of-set c.
+	// by c for every out-of-set c in the scan set, and +Inf for candidates
+	// certified non-improving (prune) or outside the neighborhood (approx).
 	var cost float64
 	var scanPos func(pos int) error
-	if ev != nil {
-		base := ev.NewBase()
-		scratches := make([]*SwapScratch, workers)
-		for w := range scratches {
-			scratches[w] = ev.NewScratch()
-		}
-		cost = ev.Cost(base, scratches[0], chosen)
+	if ds.ev != nil {
+		ev := ds.ev
+		cost = ev.Cost(ds.base, ds.scratches[0], chosen)
 		scanPos = func(pos int) error {
-			ev.PrepareBase(base, chosen, pos)
+			ev.PrepareBase(ds.base, chosen, pos)
+			if ds.ix != nil {
+				// Pivot pass: exact costs for all P pivots — the bound's
+				// anchors, and exact scan entries where they are candidates.
+				ds.st.threshold = cost
+				piv := ds.ix.Pivots()
+				if err := par.ForWorker(ctx, len(piv), workers, func(w, p int) {
+					v := ev.EvalSwap(ds.base, ds.scratches[w], int(piv[p]))
+					ds.st.pivotCost[p] = v
+					if !inSet[int(piv[p])] {
+						costs[piv[p]] = v
+					}
+				}); err != nil {
+					return err
+				}
+			}
+			if ds.gr != nil {
+				// Approx scan set: neighborhoods of the current centers,
+				// plus the pivots as global probes.
+				for i := range ds.mark {
+					ds.mark[i] = false
+				}
+				for _, ch := range chosen {
+					for _, nb := range ds.gr.Neighbors(ch) {
+						ds.mark[nb] = true
+					}
+				}
+				for _, p := range ds.ix.Pivots() {
+					ds.mark[p] = true
+				}
+			}
 			return par.ForWorker(ctx, len(candidates), workers, func(w, c int) {
 				if inSet[c] {
 					return
 				}
-				costs[c] = ev.EvalSwap(base, scratches[w], c)
+				if ds.ix != nil && ds.pivotOrd[c] >= 0 {
+					return // exact cost already written by the pivot pass
+				}
+				if ds.gr != nil && !ds.mark[c] {
+					costs[c] = math.Inf(1)
+					return
+				}
+				if ds.ix != nil && ds.ix.LowerBound(ds.base, ds.st, c) >= ds.st.threshold {
+					costs[c] = math.Inf(1)
+					return
+				}
+				costs[c] = ev.EvalSwap(ds.base, ds.scratches[w], c)
 			})
 		}
 	} else {
-		scr := cm.newFlatScratches(len(chosen), workers)
-		cost = cm.ecostUnassignedFlat(sel(chosen), scr[0].vals, &scr[0].arena)
+		scr := ds.flat
+		cent := scr[0].centers[:len(chosen)]
+		for i, c := range chosen {
+			cent[i] = candidates[c]
+		}
+		cost = cm.ecostUnassignedFlat(cent, scr[0].vals, &scr[0].arena)
 		base := make([]P, len(chosen))
 		scanPos = func(pos int) error {
 			for i, c := range chosen {
@@ -214,10 +410,37 @@ func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, se
 					return
 				}
 				s := scr[w]
-				copy(s.centers, base)
-				s.centers[pos] = candidates[c]
-				costs[c] = cm.ecostUnassignedFlat(s.centers, s.vals, &s.arena)
+				cent := s.centers[:len(chosen)]
+				copy(cent, base)
+				cent[pos] = candidates[c]
+				costs[c] = cm.ecostUnassignedFlat(cent, s.vals, &s.arena)
 			})
+		}
+	}
+
+	// countScan folds one position's outcome into the descent's prune
+	// accounting — serially, after the parallel scan, so the numbers are
+	// deterministic for any worker count.
+	countScan := func() {
+		if ds.ix == nil {
+			return
+		}
+		for c := range candidates {
+			if inSet[c] {
+				continue
+			}
+			if ds.gr != nil && !ds.mark[c] {
+				continue // outside the approx scan set: never considered
+			}
+			stats.scanned++
+			if ds.pivotOrd[c] >= 0 {
+				continue // pivot: evaluated exactly, no bound involved
+			}
+			if math.IsInf(costs[c], 1) {
+				stats.pruned++
+			} else {
+				stats.boundFail++
+			}
 		}
 	}
 
@@ -233,6 +456,7 @@ func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, se
 			if err := scanPos(pos); err != nil {
 				return nil, 0, err
 			}
+			countScan()
 			swaps += len(candidates) - len(chosen)
 			bestC, bestCost := -1, cost
 			for c := range candidates {
@@ -264,13 +488,21 @@ func swapDescent[P any](ctx context.Context, cm *Compiled[P], candidates []P, se
 			break
 		}
 	}
+	if ds.ix != nil {
+		psp := obs.StartSpan(tracer, "ls.prune")
+		psp.Int("pivots", ds.ix.NumPivots())
+		psp.Int("scanned", stats.scanned)
+		psp.Int("pruned", stats.pruned)
+		psp.Int("bound_failures", stats.boundFail)
+		psp.End()
+	}
 	dsp.Int("k", len(chosen))
 	dsp.Int("iters", iters)
 	dsp.Int("swaps", totalSwaps)
 	dsp.Int("improvements", totalTaken)
 	dsp.Micros("ecost", cost)
 	dsp.End()
-	return sel(chosen), cost, nil
+	return chosen, cost, nil
 }
 
 // farthestFirstSeed is Gonzalez over the candidate set itself.

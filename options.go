@@ -16,6 +16,26 @@ type Rule = core.Rule
 // (Euclidean only) or SurrogateOneCenter.
 type Surrogate = core.Surrogate
 
+// CandidateIndexMode selects how SolveUnassigned's neighborhood scan uses
+// the instance's candidate index: CandIndexPrune (the default) keeps the
+// scan exact while skipping candidates a triangle-inequality lower bound
+// certifies as non-improving, CandIndexApprox restricts the scan to the
+// candidate neighborhood graph of the current centers, CandIndexOff scans
+// everything (the oracle). See WithCandidateIndex.
+type CandidateIndexMode = core.CandidateIndexMode
+
+const (
+	// CandIndexDefault defers to the surrounding configuration (a request
+	// inherits its solver's mode; a solver defaults to CandIndexPrune).
+	CandIndexDefault = core.CandIndexDefault
+	// CandIndexOff disables the index: every candidate is evaluated.
+	CandIndexOff = core.CandIndexOff
+	// CandIndexPrune enables provably safe pruning (bit-identical to Off).
+	CandIndexPrune = core.CandIndexPrune
+	// CandIndexApprox enables the neighborhood-graph restricted scan.
+	CandIndexApprox = core.CandIndexApprox
+)
+
 // solverConfig is the resolved configuration a Solver carries. Rule and
 // surrogate track whether they were set explicitly so the solver can default
 // them per-space: expected point + EP in Euclidean space (the paper's
@@ -27,6 +47,7 @@ type solverConfig struct {
 	seed         int64
 	maxIter      int
 	noSwapCache  bool
+	candIndex    CandidateIndexMode
 	tracer       obs.Tracer
 }
 
@@ -130,6 +151,33 @@ func WithMaxIter(n int) Option {
 // Results agree to ≤ 1e-12 relative with identical swap trajectories.
 func WithSwapCache(enabled bool) Option {
 	return func(c *solverConfig) { c.noSwapCache = !enabled }
+}
+
+// WithCandidateIndex selects how SolveUnassigned's neighborhood scan uses
+// the instance's metric candidate index (default CandIndexPrune):
+//
+//   - CandIndexPrune — exact results, bit-identical trajectories to
+//     CandIndexOff (pinned by tests and a fuzz target): each scan position
+//     evaluates P maxmin-seeded pivots exactly, then skips every candidate
+//     whose triangle-inequality lower bound max_p(cost(p) − d(p, c))
+//     already reaches the incumbent cost — typically the large majority of
+//     the m candidates, without ever touching their distance-RV columns.
+//   - CandIndexApprox — each scan position examines only the union of the
+//     current centers' k-NN graph neighborhoods (plus the pivots). Much
+//     faster on large candidate sets, but the descent may settle on a
+//     different (slightly worse) local optimum; the quality/speed curve is
+//     recorded in BENCH_PR9.json. An explicit opt-in, never a default.
+//   - CandIndexOff — scan every candidate (the PR-3 oracle path).
+//
+// Both index layers are built lazily from the instance's memoized
+// distance-RV columns, memoized on the compiled instance, and byte-
+// accounted: pivot layer 8·P·m + 8·m + 4·P bytes, graph 4·K·m bytes
+// (DESIGN.md §11) — visible to CacheBytes, dropped by DropCaches and the
+// serving layer's LRU, and rebuilt bit-identically after eviction.
+// WithSwapCache(false) disables the index along with the evaluator it
+// reads from; the oracle path never consults it.
+func WithCandidateIndex(m CandidateIndexMode) Option {
+	return func(c *solverConfig) { c.candIndex = m }
 }
 
 // WithTracer installs an observability tracer on the solver: every solve

@@ -18,6 +18,9 @@ import (
 //     *.quarantine, and stale *.ukc.tmp write temporaries removed at
 //     startup;
 //   - cache_events_total{shard,event} — event ∈ hit, miss, eviction;
+//   - prune_total{shard,event} — event ∈ scanned, pruned: candidate-index
+//     scan accounting across pruning-enabled SolveUnassigned requests
+//     (pruned/scanned is the live prune rate);
 //   - instances, queue_depth, queue_capacity, cache_bytes,
 //     cache_budget_bytes{shard} — gauges;
 //   - latency_seconds{shard,stage,quantile} — stage ∈ queue, exec, total;
@@ -53,6 +56,12 @@ func (s *Server[P]) Collect(fn func(name string, labels map[string]string, value
 		ev("hit", sh.CacheHits)
 		ev("miss", sh.CacheMisses)
 		ev("eviction", sh.Evictions)
+
+		pr := func(event string, v uint64) {
+			fn("ukc_serve_prune_total", map[string]string{"shard": shard, "event": event}, float64(v))
+		}
+		pr("scanned", sh.PruneScanned)
+		pr("pruned", sh.PrunePruned)
 
 		gauge := func(name string, v float64) {
 			fn(name, map[string]string{"shard": shard}, v)

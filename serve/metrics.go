@@ -22,6 +22,12 @@ type shardCounters struct {
 	hits      atomic.Uint64 // executed requests with no cache build in their window
 	misses    atomic.Uint64 // executed requests whose window saw a cache build
 	evictions atomic.Uint64 // DropCaches calls issued by the byte-budget LRU
+
+	// Candidate-index scan accounting, fed by the ls.prune spans the entry
+	// tracer observes on SolveUnassigned requests: candidates considered by
+	// pruning-enabled scans, and the subset skipped by the lower bound.
+	pruneScanned atomic.Uint64
+	prunePruned  atomic.Uint64
 }
 
 // latWindow is the per-shard latency sample size: large enough for stable
@@ -123,6 +129,15 @@ type ShardMetrics struct {
 	CacheMisses uint64
 	Evictions   uint64
 
+	// PruneScanned / PrunePruned are the shard's candidate-index scan
+	// counters across SolveUnassigned requests with pruning enabled (the
+	// default): candidates considered, and the subset the pivot lower
+	// bound skipped without an exact evaluation. Their ratio (PruneRate)
+	// is the live measure of how much of the O(n·m) swap-scan wall the
+	// index is absorbing.
+	PruneScanned uint64
+	PrunePruned  uint64
+
 	LatencyP50 time.Duration
 	LatencyP99 time.Duration
 	QueueP50   time.Duration
@@ -141,6 +156,16 @@ func (m ShardMetrics) HitRate() float64 {
 		return 0
 	}
 	return float64(m.CacheHits) / float64(total)
+}
+
+// PruneRate returns the fraction of scanned candidates the candidate index
+// pruned without an exact evaluation (0 when no pruning-enabled scan has
+// run).
+func (m ShardMetrics) PruneRate() float64 {
+	if m.PruneScanned == 0 {
+		return 0
+	}
+	return float64(m.PrunePruned) / float64(m.PruneScanned)
 }
 
 // Metrics is a full server snapshot: one entry per shard plus the
@@ -184,6 +209,8 @@ func (m Metrics) Totals() ShardMetrics {
 		t.CacheHits += s.CacheHits
 		t.CacheMisses += s.CacheMisses
 		t.Evictions += s.Evictions
+		t.PruneScanned += s.PruneScanned
+		t.PrunePruned += s.PrunePruned
 		maxDur(&t.LatencyP50, s.LatencyP50)
 		maxDur(&t.LatencyP99, s.LatencyP99)
 		maxDur(&t.QueueP50, s.QueueP50)

@@ -178,10 +178,17 @@ func (s *Server[P]) EcostSweep(ctx context.Context, req EcostSweepRequest[P]) (E
 }
 
 // UnassignedRequest asks for the unassigned-objective local search
-// (Solver.SolveUnassigned) on a registered instance.
+// (Solver.SolveUnassigned) on a registered instance. Index selects the
+// candidate-index mode for this request: the zero value
+// (ukc.CandIndexDefault) defers to the server solver's WithCandidateIndex
+// option — safe pruning unless the operator chose otherwise — while
+// ukc.CandIndexOff / CandIndexPrune / CandIndexApprox override it per
+// request. Prune keeps answers bit-identical to Off; Approx trades exact
+// trajectories for neighborhood-restricted scans.
 type UnassignedRequest struct {
 	Instance string
 	K        int
+	Index    ukc.CandidateIndexMode
 	Deadline time.Duration
 }
 
@@ -198,7 +205,7 @@ type UnassignedResponse[P any] struct {
 func (s *Server[P]) SolveUnassigned(ctx context.Context, req UnassignedRequest) (UnassignedResponse[P], error) {
 	var resp UnassignedResponse[P]
 	st, err := s.do(ctx, req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
-		centers, cost, err := s.solver.SolveUnassigned(ctx, ent.inst, req.K)
+		centers, cost, err := s.solver.SolveUnassignedMode(ctx, ent.inst, req.K, req.Index)
 		if err != nil {
 			return err
 		}

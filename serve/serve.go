@@ -120,16 +120,32 @@ type entry[P any] struct {
 	tracer   obs.Tracer
 }
 
-// entryTracer funnels the cache-build spans of one registered instance
-// (surrogate.build.*, evaluator.build) into its build-duration histogram
-// and ignores everything else. A single-pointer struct converts to
-// obs.Tracer without allocating, and the Histogram is lock-free, so the
-// per-span cost is a prefix check plus two atomics.
-type entryTracer[P any] struct{ ent *entry[P] }
+// entryTracer funnels the spans of one registered instance into the shard's
+// metrics: cache-build spans (surrogate.build.*, evaluator.build,
+// candindex.build, candgraph.build) into the instance's build-duration
+// histogram, and the local-search prune summary (ls.prune) into the shard's
+// scan/prune counters. Everything else is ignored. A two-pointer struct
+// converts to obs.Tracer without allocating, and the histogram and counters
+// are lock-free, so the per-span cost is a name check plus a few atomics.
+type entryTracer[P any] struct {
+	ent *entry[P]
+	m   *shardCounters
+}
 
-func (et entryTracer[P]) Span(name, _ string, _ time.Time, dur time.Duration, _ []obs.Attr) {
-	if strings.HasPrefix(name, "surrogate.build") || name == "evaluator.build" {
+func (et entryTracer[P]) Span(name, _ string, _ time.Time, dur time.Duration, attrs []obs.Attr) {
+	switch {
+	case strings.HasPrefix(name, "surrogate.build") || name == "evaluator.build" ||
+		name == "candindex.build" || name == "candgraph.build":
 		et.ent.buildDur.Observe(dur.Seconds())
+	case name == "ls.prune":
+		for _, a := range attrs {
+			switch a.Key {
+			case "scanned":
+				et.m.pruneScanned.Add(uint64(a.Val))
+			case "pruned":
+				et.m.prunePruned.Add(uint64(a.Val))
+			}
+		}
 	}
 }
 
@@ -317,7 +333,7 @@ func (s *Server[P]) addEntry(name string, c *ukc.Compiled[P], snap *store.Snapsh
 		return fmt.Errorf("serve: instance %q already registered", name)
 	}
 	ent := &entry[P]{name: name, inst: pinned, c: c, snap: snap, bytes: c.CacheBytes(), buildDur: obs.NewHistogram(obs.DurationBuckets()...)}
-	ent.tracer = entryTracer[P]{ent}
+	ent.tracer = entryTracer[P]{ent: ent, m: &sh.m}
 	sh.entries[name] = ent
 	sh.cacheBytes += ent.bytes
 	sh.rec.Touch(name)
@@ -645,29 +661,31 @@ func (s *Server[P]) Metrics() Metrics {
 		sort.Slice(per, func(a, b int) bool { return per[a].Name < per[b].Name })
 		q := sh.lat.quantiles()
 		out.Shards[i] = ShardMetrics{
-			Shard:       sh.id,
-			Instances:   instances,
-			QueueDepth:  len(sh.queue),
-			QueueCap:    cap(sh.queue),
-			CacheBytes:  bytes,
-			CacheBudget: s.cfg.budget,
-			Admitted:    sh.m.admitted.Load(),
-			Rejected:    sh.m.rejected.Load(),
-			Completed:   sh.m.completed.Load(),
-			Failed:      sh.m.failed.Load(),
-			Canceled:    sh.m.canceled.Load(),
-			Expired:     sh.m.expired.Load(),
-			Panicked:    sh.m.panicked.Load(),
-			CacheHits:   sh.m.hits.Load(),
-			CacheMisses: sh.m.misses.Load(),
-			Evictions:   sh.m.evictions.Load(),
-			LatencyP50:  q.TotalP50,
-			LatencyP99:  q.TotalP99,
-			QueueP50:    q.QueueP50,
-			QueueP99:    q.QueueP99,
-			ExecP50:     q.ExecP50,
-			ExecP99:     q.ExecP99,
-			PerInstance: per,
+			Shard:        sh.id,
+			Instances:    instances,
+			QueueDepth:   len(sh.queue),
+			QueueCap:     cap(sh.queue),
+			CacheBytes:   bytes,
+			CacheBudget:  s.cfg.budget,
+			Admitted:     sh.m.admitted.Load(),
+			Rejected:     sh.m.rejected.Load(),
+			Completed:    sh.m.completed.Load(),
+			Failed:       sh.m.failed.Load(),
+			Canceled:     sh.m.canceled.Load(),
+			Expired:      sh.m.expired.Load(),
+			Panicked:     sh.m.panicked.Load(),
+			CacheHits:    sh.m.hits.Load(),
+			CacheMisses:  sh.m.misses.Load(),
+			Evictions:    sh.m.evictions.Load(),
+			PruneScanned: sh.m.pruneScanned.Load(),
+			PrunePruned:  sh.m.prunePruned.Load(),
+			LatencyP50:   q.TotalP50,
+			LatencyP99:   q.TotalP99,
+			QueueP50:     q.QueueP50,
+			QueueP99:     q.QueueP99,
+			ExecP50:      q.ExecP50,
+			ExecP99:      q.ExecP99,
+			PerInstance:  per,
 		}
 	}
 	return out
