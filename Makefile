@@ -7,7 +7,7 @@ GO ?= go
 
 # Perf-trajectory output of bench-json. Bump per PR so the repository
 # accumulates a benchmark history (BENCH_PR3.json, BENCH_PR4.json, ...).
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR10.json
 
 # Serving-layer trajectory output of bench-serve (the PR-5 tentpole):
 # request throughput with warm-cache hit rate, serve-vs-direct overhead,
@@ -19,7 +19,7 @@ SERVE_BENCH_OUT ?= BENCH_PR5.json
 # prune_rate and cost_ratio reported per mode.
 INDEX_BENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: all vet fmt-check build test test-race test-faults fuzz-arena fuzz-bound bench bench-parallel bench-json bench-serve bench-index examples check ci
+.PHONY: all vet fmt-check build test test-race test-faults test-alloc-pins fuzz-arena fuzz-bound bench bench-parallel bench-json bench-serve bench-index examples check ci
 
 all: check
 
@@ -48,6 +48,14 @@ test-faults:
 	$(GO) test -race -run 'Fault|Fire|Panic|Drain|Shutdown|Quarantine|TornWrite|CloseRegister|Breaker|Retry' \
 		./serve ./internal/faults ./client ./cmd/ukserver
 
+# test-alloc-pins is the nightly zero-cost-when-off gate: the nil tracer
+# and the disabled flight recorder must add ZERO allocations to the paths
+# they instrument. These tests run in `make test` too; the standalone
+# target fails the nightly loudly and in isolation if an instrumentation
+# change loses a nil guard.
+test-alloc-pins:
+	$(GO) test -v -run 'Allocs' ./obs ./serve
+
 # fuzz-arena runs the snapshot decoder fuzzer for $(FUZZTIME): arbitrary
 # bytes through the full .ukc validation pipeline (nightly CI).
 FUZZTIME ?= 5m
@@ -74,14 +82,17 @@ bench-parallel:
 # incremental-vs-scratch swap evaluator pair (the PR-3 tentpole's ≥5×
 # claim), the compiled-vs-fresh repeated-solve pair (the PR-4 tentpole's
 # amortization claim), the instrumentation-off-vs-on overhead pair (the
-# PR-6 tentpole's zero-cost-default claim), and the cold-JSON-load vs
+# PR-6 tentpole's zero-cost-default claim), the cold-JSON-load vs
 # snapshot-open vs warm-solve curves (the PR-7 tentpole's
-# restart-without-recompiling claim).
+# restart-without-recompiling claim), and the flight-recorder triple —
+# disabled / enabled-unsampled / enabled-retained (the PR-10 tentpole's
+# tail-sampling cost curve; disabled must report 0 B/op, 0 allocs/op).
 bench-json:
 	$(GO) test -json -run '^$$' -benchmem \
 		-bench 'BenchmarkUnassignedParallel$$|BenchmarkEcostParallel$$|BenchmarkSwapIncremental$$|BenchmarkRepeatedSolve$$|BenchmarkObsOverhead' \
 		. > $(BENCH_OUT)
 	$(GO) test -json -run '^$$' -benchmem -bench 'BenchmarkSnapshot' ./store >> $(BENCH_OUT)
+	$(GO) test -json -run '^$$' -benchmem -bench 'BenchmarkFlightRecorder' ./obs >> $(BENCH_OUT)
 
 # bench-serve records the serving-layer trajectory as a test2json stream
 # into $(SERVE_BENCH_OUT): throughput through the sharded server in the

@@ -61,12 +61,14 @@ var (
 )
 
 // StatusError is a non-2xx response: the status code, the server's error
-// message, and the parsed Retry-After (0 when absent). Its Is method maps
-// the well-known statuses onto the package sentinels.
+// message, the parsed Retry-After (0 when absent), and the request ID the
+// failing attempt carried (echoed by the gateway — grep its logs for it).
+// Its Is method maps the well-known statuses onto the package sentinels.
 type StatusError struct {
 	Status     int
 	Message    string
 	RetryAfter time.Duration
+	RequestID  string
 }
 
 func (e *StatusError) Error() string {
@@ -97,6 +99,7 @@ type config struct {
 	seed             int64
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	recorder         *obs.FlightRecorder
 }
 
 func defaultConfig() config {
@@ -178,6 +181,17 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 			c.breakerCooldown = cooldown
 		}
 	}
+}
+
+// WithFlightRecorder installs a flight recorder on the client: every call
+// becomes a trace participant whose attempts are child spans (attempt
+// number and HTTP status as attributes) and whose breaker transitions are
+// marker spans, retained under the recorder's tail-sampling policy. When
+// client and server share one recorder in-process, client and server spans
+// assemble into a single trace. Nil (the default) records nothing; the
+// traceparent and X-Request-ID headers are sent regardless.
+func WithFlightRecorder(f *obs.FlightRecorder) Option {
+	return func(c *config) { c.recorder = f }
 }
 
 // Client is a ukserver API client for one base URL. It is goroutine-safe;
@@ -281,11 +295,22 @@ func classify(err error) (retryable, breakerFail bool) {
 
 // do runs one API call through the retry loop: breaker gate, per-attempt
 // timeout, classification, jittered backoff honoring Retry-After. On
-// success the response body is decoded into out (when non-nil).
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+// success the response body is decoded into out (when non-nil). Every
+// attempt carries the call's X-Request-ID and a traceparent naming this
+// attempt's span; with a recorder installed, attempts and breaker
+// transitions are recorded as spans and the call's trace is finished (and
+// tail-sampled) on return.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	reqID := requestIDFrom(ctx)
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	ct := c.startCallTrace(ctx, "client.call")
+	defer func() { ct.at.Finish(err) }()
+
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.maxAttempts; attempt++ {
 		if attempt > 0 {
@@ -298,15 +323,26 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 				return fmt.Errorf("%w (after %d attempts, last: %w)", err, attempt, lastErr)
 			}
 		}
-		if !c.br.allow() {
+		prevState := c.br.current()
+		allowed := c.br.allow()
+		c.breakerSpan(ct, prevState)
+		if !allowed {
 			if lastErr != nil {
 				return fmt.Errorf("%w (last: %w)", ErrCircuitOpen, lastErr)
 			}
 			return ErrCircuitOpen
 		}
-		err := c.attempt(ctx, method, path, body, out)
+		attemptID := obs.NewSpanID()
+		start := time.Now()
+		err := c.attempt(ctx, method, path, body, out, attemptHeaders{
+			requestID:   reqID,
+			traceparent: obs.TraceContext{TraceID: ct.tc.TraceID, SpanID: attemptID}.Traceparent(),
+		})
+		ct.attemptSpan(attemptID, attempt, statusOf(err), start)
+		prevState = c.br.current()
 		if err == nil {
 			c.br.onSuccess()
+			c.breakerSpan(ct, prevState)
 			return nil
 		}
 		retryable, breakerFail := classify(err)
@@ -315,6 +351,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		} else {
 			c.br.onSuccess()
 		}
+		c.breakerSpan(ct, prevState)
 		if !retryable {
 			return err
 		}
@@ -326,8 +363,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	return fmt.Errorf("client: %d attempts failed: %w", c.cfg.maxAttempts, lastErr)
 }
 
+// attemptHeaders is the correlation metadata one attempt sends.
+type attemptHeaders struct {
+	requestID   string
+	traceparent string
+}
+
 // attempt performs one HTTP round trip under the per-attempt timeout.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, hdr attemptHeaders) error {
 	actx := ctx
 	if c.cfg.attemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -345,6 +388,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set("X-Request-ID", hdr.requestID)
+	req.Header.Set("traceparent", hdr.traceparent)
 	resp, err := c.cfg.httpClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -354,11 +399,18 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if err != nil {
 		return fmt.Errorf("client: reading response: %w", err)
 	}
+	// The gateway echoes the request ID it served under; fall back to the
+	// one sent if the peer is an older or non-echoing server.
+	echoed := resp.Header.Get("X-Request-ID")
+	if echoed == "" {
+		echoed = hdr.requestID
+	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		se := &StatusError{
 			Status:     resp.StatusCode,
 			Message:    errorMessage(raw),
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now()),
+			RequestID:  echoed,
 		}
 		return se
 	}
@@ -367,6 +419,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
 		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	if s, ok := out.(requestIDSetter); ok {
+		s.setRequestID(echoed)
 	}
 	return nil
 }
@@ -430,6 +485,7 @@ func deadlineMS(d time.Duration) int64 { return int64(d / time.Millisecond) }
 // against the instance's kind), the assignment, both E-costs and the
 // certain-solver telemetry.
 type SolveResponse struct {
+	ResponseMeta
 	Centers         json.RawMessage `json:"centers"`
 	Assign          []int           `json:"assign"`
 	Ecost           float64         `json:"ecost"`
@@ -441,18 +497,21 @@ type SolveResponse struct {
 
 // AssignResponse is an assignment of every point to one of the given centers.
 type AssignResponse struct {
+	ResponseMeta
 	Assign []int `json:"assign"`
 	Stats  Stats `json:"stats"`
 }
 
 // EcostResponse is one expected-cost evaluation.
 type EcostResponse struct {
+	ResponseMeta
 	Ecost float64 `json:"ecost"`
 	Stats Stats   `json:"stats"`
 }
 
 // SweepResponse is the full swap-neighborhood E-cost matrix.
 type SweepResponse struct {
+	ResponseMeta
 	Sweep   [][]float64     `json:"sweep"`
 	Snapped json.RawMessage `json:"snapped"`
 	Stats   Stats           `json:"stats"`
@@ -460,6 +519,7 @@ type SweepResponse struct {
 
 // UnassignedResponse is an unassigned-semantics local-search solve.
 type UnassignedResponse struct {
+	ResponseMeta
 	Centers json.RawMessage `json:"centers"`
 	Ecost   float64         `json:"ecost"`
 	Stats   Stats           `json:"stats"`

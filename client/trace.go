@@ -1,0 +1,112 @@
+package client
+
+// trace.go is the client's side of the correlation contract: every call
+// carries an X-Request-ID (generated, or caller-supplied via WithRequestID)
+// that the gateway echoes and logs, and a W3C traceparent naming the trace
+// the call belongs to — an ambient one from the caller's context, or a
+// fresh root so even an untraced caller's retries correlate server-side.
+// With a flight recorder installed (WithFlightRecorder) the call becomes a
+// trace participant: each attempt is a child span carrying the attempt
+// number and HTTP status, and circuit-breaker state transitions are
+// recorded as zero-duration marker spans.
+
+import (
+	"context"
+	"time"
+
+	"repro/obs"
+)
+
+// ResponseMeta is the correlation metadata attached to every workload
+// response: the request ID the call carried (echoed by the gateway), for
+// joining client-side results to gateway request logs and retained traces.
+type ResponseMeta struct {
+	RequestID string `json:"-"`
+}
+
+// setRequestID is the hook attempt uses to stamp decoded responses.
+func (m *ResponseMeta) setRequestID(id string) { m.RequestID = id }
+
+type requestIDSetter interface{ setRequestID(string) }
+
+// requestIDKey carries a caller-supplied request ID through a context.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying an explicit request ID: every attempt
+// of every call under it sends `id` as X-Request-ID instead of a generated
+// one. Use it to thread an upstream system's correlation ID through the
+// gateway's logs.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestIDFrom extracts a caller-supplied request ID, or "".
+func requestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-char request ID (the same shape the
+// gateway generates when a caller sends none).
+func newRequestID() string { return obs.NewSpanID().String() }
+
+// callTrace is the per-call trace state do() threads through its attempts.
+type callTrace struct {
+	tc     obs.TraceContext // the trace every attempt's traceparent names
+	at     *obs.ActiveTrace // nil without a recorder
+	parent obs.SpanID       // parent for attempt/breaker spans
+}
+
+// startCallTrace roots the call's trace: the ambient trace context when the
+// caller has one, a fresh trace otherwise — propagation works with or
+// without a recorder; the recorder only decides whether the client keeps
+// its own copy of the spans.
+func (c *Client) startCallTrace(ctx context.Context, name string) callTrace {
+	tc := obs.TraceFromContext(ctx)
+	if !tc.Valid() {
+		tc = obs.TraceContext{TraceID: obs.NewTraceID()}
+	}
+	ct := callTrace{tc: tc, parent: tc.SpanID}
+	if at := c.cfg.recorder.Start(tc, name, ""); at != nil {
+		ct.at = at
+		ct.parent = at.RootID()
+	}
+	return ct
+}
+
+// attemptSpan records one attempt as a child span: its number and the HTTP
+// status it ended with (0 for transport errors, 200 for success).
+func (ct callTrace) attemptSpan(id obs.SpanID, attempt, status int, start time.Time) {
+	ct.at.Record(id, ct.parent, "client.attempt", "", start, time.Since(start),
+		obs.Int("attempt", attempt), obs.Int("status", status))
+}
+
+// breakerSpan records a circuit-breaker state transition observed during
+// this call as a zero-duration marker span.
+func (c *Client) breakerSpan(ct callTrace, prev int) {
+	if ct.at == nil {
+		return
+	}
+	if cur := c.br.current(); cur != prev {
+		ct.at.Record(obs.NewSpanID(), ct.parent, "client.breaker", "", time.Now(), 0,
+			obs.Int("from", prev), obs.Int("to", cur))
+	}
+}
+
+// statusOf maps an attempt outcome to the status attribute: the HTTP status
+// for server responses, 200 for success, 0 for transport-level failures.
+func statusOf(err error) int {
+	if err == nil {
+		return 200
+	}
+	if se, ok := err.(*StatusError); ok {
+		return se.Status
+	}
+	return 0
+}

@@ -1,0 +1,231 @@
+package client
+
+// Correlation-contract tests: X-Request-ID on every attempt, echoed IDs in
+// StatusError and response metadata, traceparent propagation, and the
+// client's flight-recorder spans (attempts, breaker transitions).
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/obs"
+)
+
+// headerLog records the correlation headers of every request a test server
+// receives.
+type headerLog struct {
+	mu      sync.Mutex
+	reqIDs  []string
+	parents []string
+}
+
+func (h *headerLog) record(r *http.Request) {
+	h.mu.Lock()
+	h.reqIDs = append(h.reqIDs, r.Header.Get("X-Request-ID"))
+	h.parents = append(h.parents, r.Header.Get("traceparent"))
+	h.mu.Unlock()
+}
+
+func TestRequestIDSentAndEchoed(t *testing.T) {
+	var log headerLog
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.record(r)
+		w.Header().Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ecost": 1.5, "stats": {"shard": 0}}`))
+	}))
+	defer ts.Close()
+	c, _, _ := testClient(t, ts.URL)
+
+	resp, err := c.Ecost(context.Background(), "a", []int{0}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.reqIDs) != 1 || len(log.reqIDs[0]) != 16 {
+		t.Fatalf("generated request ID not sent: %q", log.reqIDs)
+	}
+	if resp.RequestID != log.reqIDs[0] {
+		t.Fatalf("response RequestID %q, want echoed %q", resp.RequestID, log.reqIDs[0])
+	}
+	if _, err := obs.ParseTraceparent(log.parents[0]); err != nil {
+		t.Fatalf("attempt carried a malformed traceparent %q: %v", log.parents[0], err)
+	}
+}
+
+func TestRequestIDCallerSuppliedSharedAcrossAttempts(t *testing.T) {
+	var log headerLog
+	var n int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.record(r)
+		n++
+		if n < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ecost": 1}`))
+	}))
+	defer ts.Close()
+	c, _, _ := testClient(t, ts.URL)
+
+	ctx := WithRequestID(context.Background(), "caller-chosen-id")
+	if _, err := c.Ecost(ctx, "a", []int{0}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.reqIDs) != 3 {
+		t.Fatalf("saw %d attempts, want 3", len(log.reqIDs))
+	}
+	for i, id := range log.reqIDs {
+		if id != "caller-chosen-id" {
+			t.Fatalf("attempt %d sent request ID %q, want caller's", i, id)
+		}
+	}
+	// Retries share a trace but each attempt is its own span: same trace ID,
+	// distinct parent IDs.
+	first, err := obs.ParseTraceparent(log.parents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range log.parents[1:] {
+		tc, err := obs.ParseTraceparent(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.TraceID != first.TraceID {
+			t.Fatalf("attempt %d left the call's trace", i+1)
+		}
+		if tc.SpanID == first.SpanID {
+			t.Fatalf("attempt %d reused the first attempt's span ID", i+1)
+		}
+	}
+}
+
+func TestStatusErrorCarriesRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"no such instance"}`))
+	}))
+	defer ts.Close()
+	c, _, _ := testClient(t, ts.URL)
+
+	ctx := WithRequestID(context.Background(), "find-me-in-the-logs")
+	_, err := c.Ecost(ctx, "missing", []int{0}, nil, 0)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.RequestID != "find-me-in-the-logs" {
+		t.Fatalf("StatusError.RequestID = %q", se.RequestID)
+	}
+}
+
+func TestAmbientTraceContextPropagates(t *testing.T) {
+	var log headerLog
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.record(r)
+		w.Write([]byte(`{"ecost": 1}`))
+	}))
+	defer ts.Close()
+	c, _, _ := testClient(t, ts.URL)
+
+	caller := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()}
+	if _, err := c.Ecost(obs.ContextWithTrace(context.Background(), caller), "a", []int{0}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := obs.ParseTraceparent(log.parents[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.TraceID != caller.TraceID {
+		t.Fatalf("attempt traceparent %s not in the caller's trace %s", tc.TraceID, caller.TraceID)
+	}
+}
+
+func TestClientRecorderAttemptSpans(t *testing.T) {
+	var n int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		if n < 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ecost": 1}`))
+	}))
+	defer ts.Close()
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Reservoir: -1, Threshold: time.Nanosecond})
+	c, _, _ := testClient(t, ts.URL, WithFlightRecorder(fr))
+
+	if _, err := c.Ecost(context.Background(), "a", []int{0}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	traces := fr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	root, ok := tr.Span("client.call")
+	if !ok {
+		t.Fatalf("no client.call root span: %+v", tr.Spans)
+	}
+	var attempts []obs.TraceSpan
+	for _, sp := range tr.Spans {
+		if sp.Name == "client.attempt" {
+			if sp.ParentID != root.SpanID {
+				t.Fatalf("attempt span misparented: %+v", sp)
+			}
+			attempts = append(attempts, sp)
+		}
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("recorded %d attempt spans, want 2", len(attempts))
+	}
+	wantStatus := []int64{503, 200}
+	for i, sp := range attempts {
+		var gotAttempt, gotStatus int64 = -1, -1
+		for _, a := range sp.Attrs {
+			switch a.Key {
+			case "attempt":
+				gotAttempt = a.Val
+			case "status":
+				gotStatus = a.Val
+			}
+		}
+		if gotAttempt != int64(i) || gotStatus != wantStatus[i] {
+			t.Fatalf("attempt %d attrs: attempt=%d status=%d, want %d/%d", i, gotAttempt, gotStatus, i, wantStatus[i])
+		}
+	}
+}
+
+func TestClientRecorderBreakerSpans(t *testing.T) {
+	ts := httptest.NewServer(jsonHandler(http.StatusInternalServerError, `{"error":"boom"}`))
+	defer ts.Close()
+	fr := obs.NewFlightRecorder(obs.FlightConfig{Reservoir: -1, Threshold: time.Nanosecond})
+	c, _, _ := testClient(t, ts.URL, WithFlightRecorder(fr), WithBreaker(2, time.Second), WithMaxAttempts(3))
+
+	_, err := c.Ecost(context.Background(), "a", []int{0}, nil, 0)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	var transition obs.TraceSpan
+	found := false
+	for _, tr := range fr.Traces() {
+		if sp, ok := tr.Span("client.breaker"); ok {
+			transition, found = sp, true
+		}
+	}
+	if !found {
+		t.Fatal("no client.breaker transition span recorded")
+	}
+	attrs := map[string]int64{}
+	for _, a := range transition.Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["from"] != BreakerClosed || attrs["to"] != BreakerOpen {
+		t.Fatalf("breaker transition attrs %v, want closed→open", attrs)
+	}
+}

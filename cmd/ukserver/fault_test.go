@@ -67,7 +67,7 @@ func TestStatusForFaultTyped(t *testing.T) {
 // solver panic surfaces as a 500 with the panic typed in the body, and the
 // very next request on the same worker pool succeeds.
 func TestGatewayPanicMaps500(t *testing.T) {
-	gw, err := newGateway(1, nil, "")
+	gw, err := newGateway(1, nil, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestGatewayPanicMaps500(t *testing.T) {
 // Retry-After hint, a draining gateway answers 503 with Retry-After while
 // admitted work completes, and the drain lets that work finish cleanly.
 func TestGatewayRetryAfterAndDrain(t *testing.T) {
-	gw, err := newGateway(1, nil, "",
+	gw, err := newGateway(1, nil, nil, "",
 		serve.WithShards(1), serve.WithWorkersPerShard(1), serve.WithQueueDepth(1))
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +245,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // gateway: registry round trip, typed workloads with center decoding, typed
 // error mapping, and the post-shutdown ErrUnavailable contract.
 func TestClientAgainstGateway(t *testing.T) {
-	gw, err := newGateway(1, nil, t.TempDir())
+	gw, err := newGateway(1, nil, nil, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

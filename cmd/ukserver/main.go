@@ -18,14 +18,30 @@
 //
 // Observability: every request is logged as one structured (log/slog) line
 // carrying a request ID — X-Request-ID is honored when the caller sends
-// one, generated and echoed otherwise. GET /metrics serves the full
-// serving-layer state (per-shard request counters with the
-// completed/failed/canceled/expired split, queue-wait vs execution latency
-// quantiles, per-instance cache gauges and cache-build histograms, all
-// labeled by instance kind) in the Prometheus text exposition format,
-// hand-rolled with no client dependency; GET /v1/metrics is the same
-// snapshot as JSON. -pprof mounts net/http/pprof under /debug/pprof/, and
-// -trace logs every solver span (see ukc.WithTracer) at debug level.
+// one, generated and echoed otherwise — and a trace ID: an incoming W3C
+// traceparent header joins the caller's trace, anything else roots a fresh
+// one. GET /metrics serves the full serving-layer state (per-shard request
+// counters with the completed/failed/canceled/expired split, queue-wait vs
+// execution latency quantiles, per-instance cache gauges and cache-build
+// histograms, all labeled by instance kind) in the Prometheus text
+// exposition format, hand-rolled with no client dependency, plus Go runtime
+// gauges (goroutines, heap, GC pauses) and the gateway request-duration
+// histogram whose buckets carry trace-ID exemplars; GET /v1/metrics is the
+// same snapshot as JSON. -pprof mounts net/http/pprof under /debug/pprof/,
+// and -trace logs every solver span (see ukc.WithTracer) at debug level.
+//
+// Flight recorder: unless -trace-retain 0, every request assembles a trace
+// (admission → queue wait → execution → solver spans) in a fixed-capacity
+// in-process recorder with tail-based retention — erred/panicked traces and
+// traces at or above -trace-slow are always kept (ring of -trace-retain),
+// plus a -trace-sample reservoir of fast clean ones as a baseline. GET
+// /v1/traces serves the retained traces as JSON (?instance=, ?min_ms=,
+// ?error=true filters); GET /v1/requests snapshots the live in-flight
+// request table (workload, instance, shard, queued-or-executing, elapsed,
+// trace ID) without stopping the world.
+//
+//	curl 'localhost:8080/v1/traces?min_ms=100'
+//	curl  localhost:8080/v1/requests
 //
 // Status mapping: 404 unknown instance, 409 duplicate registration, 422
 // invalid instance data, 429 shard queue full (ErrOverloaded — back off and
@@ -77,6 +93,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -117,6 +134,10 @@ func run() error {
 		drainT    = flag.Duration("drain-timeout", 10*time.Second, "bound on the shutdown drain; expired drains abort in-flight requests (0 = wait indefinitely)")
 		freezeOn  = flag.Bool("freeze-on-shutdown", false, "freeze every instance into -snapshot-dir after a clean drain")
 		selfcheck = flag.Bool("selfcheck", false, "boot on a loopback port, exercise every endpoint, exit")
+
+		traceRetain = flag.Int("trace-retain", 64, "flight recorder: retained erred/slow traces, served on /v1/traces (0 = recorder off)")
+		traceSample = flag.Int("trace-sample", 8, "flight recorder: reservoir of fast clean traces kept as a baseline sample (-1 = none)")
+		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "flight recorder: latency at or above which a trace is always retained (-1 = never)")
 	)
 	flag.Parse()
 
@@ -141,7 +162,15 @@ func run() error {
 		serve.WithFreezeOnShutdown(*freezeOn),
 		serve.WithLogger(logger),
 	}
-	gw, err := newGateway(*parallel, tracer, *snapDir, opts...)
+	var fr *obs.FlightRecorder
+	if *traceRetain > 0 {
+		fr = obs.NewFlightRecorder(obs.FlightConfig{
+			Capacity:  *traceRetain,
+			Reservoir: *traceSample,
+			Threshold: *traceSlow,
+		})
+	}
+	gw, err := newGateway(*parallel, tracer, fr, *snapDir, opts...)
 	if err != nil {
 		return err
 	}
@@ -188,10 +217,12 @@ type gateway struct {
 	regMu   sync.Mutex
 	eu      *serve.Server[ukc.Vec]
 	fin     *serve.Server[int]
+	fr      *obs.FlightRecorder // nil = flight recorder off (/v1/traces serves empty)
+	httpLat *httpLatency
 	snapDir string // "" = persistence off (no warm start, freeze returns 409)
 }
 
-func newGateway(parallel int, tracer obs.Tracer, snapDir string, opts ...serve.Option) (*gateway, error) {
+func newGateway(parallel int, tracer obs.Tracer, fr *obs.FlightRecorder, snapDir string, opts ...serve.Option) (*gateway, error) {
 	solverOpts := []ukc.Option{ukc.WithParallelism(parallel)}
 	if tracer != nil {
 		solverOpts = append(solverOpts, ukc.WithTracer(tracer))
@@ -200,6 +231,11 @@ func newGateway(parallel int, tracer obs.Tracer, snapDir string, opts ...serve.O
 		// Both typed servers scan the same directory; each claims only the
 		// snapshots of its own kind (serve.ErrSnapshotKind skip).
 		opts = append(opts, serve.WithSnapshotDir(snapDir))
+	}
+	if fr != nil {
+		// One recorder spans both kind servers: a trace is one request,
+		// whichever kind served it.
+		opts = append(opts, serve.WithFlightRecorder(fr))
 	}
 	eu, err := serve.New(ukc.NewSolver[ukc.Vec](solverOpts...), opts...)
 	if err != nil {
@@ -210,7 +246,7 @@ func newGateway(parallel int, tracer obs.Tracer, snapDir string, opts ...serve.O
 		eu.Close()
 		return nil, err
 	}
-	return &gateway{eu: eu, fin: fin, snapDir: snapDir}, nil
+	return &gateway{eu: eu, fin: fin, fr: fr, httpLat: newHTTPLatency(), snapDir: snapDir}, nil
 }
 
 func (g *gateway) close() {
@@ -318,6 +354,8 @@ func (g *gateway) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/sweep", g.workload(bind(g.eu, doSweep[ukc.Vec]), bind(g.fin, doSweep[int])))
 	mux.HandleFunc("POST /v1/unassigned", g.workload(bind(g.eu, doUnassigned[ukc.Vec]), bind(g.fin, doUnassigned[int])))
 	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", g.handleTraces)
+	mux.HandleFunc("GET /v1/requests", g.handleRequests)
 	mux.HandleFunc("GET /metrics", g.handlePromMetrics)
 	return mux
 }
@@ -329,7 +367,7 @@ func (g *gateway) handler(pprofOn bool, logger *slog.Logger) http.Handler {
 	if pprofOn {
 		registerPprof(mux)
 	}
-	return requestLog(logger, mux)
+	return requestLog(logger, g.httpLat, mux)
 }
 
 func (g *gateway) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -477,13 +515,16 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // handlePromMetrics serves both kind servers' Collect walks as one
 // Prometheus text exposition document, each sample labeled with its kind,
-// plus the process-wide store gauge (mapped snapshot bytes span both kinds,
-// so that sample carries no kind label).
+// plus the process-wide series that span both kinds and so carry no kind
+// label: the store gauge, the Go runtime gauges and GC pause histogram,
+// and the gateway HTTP latency histogram with trace-ID exemplars.
 func (g *gateway) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
 	pc := newPromCollector()
 	g.eu.Collect(pc.add(dataio.KindEuclidean))
 	g.fin.Collect(pc.add(dataio.KindFinite))
 	pc.add("")("ukc_store_mapped_bytes", map[string]string{}, float64(store.MappedBytes()))
+	collectRuntime(pc)
+	g.httpLat.collect(pc)
 	var buf bytes.Buffer
 	if err := pc.write(&buf); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -789,6 +830,8 @@ func (g *gateway) selfcheck(logger *slog.Logger) error {
 		{"freeze-finite", http.MethodPost, "/v1/instances/smoke-fin/freeze", nil, http.StatusOK},
 		{"freeze-unknown", http.MethodPost, "/v1/instances/ghost/freeze", nil, http.StatusNotFound},
 		{"metrics", http.MethodGet, "/v1/metrics", nil, http.StatusOK},
+		{"traces", http.MethodGet, "/v1/traces", nil, http.StatusOK},
+		{"requests", http.MethodGet, "/v1/requests", nil, http.StatusOK},
 		{"pprof-cmdline", http.MethodGet, "/debug/pprof/cmdline", nil, http.StatusOK},
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -820,7 +863,11 @@ func (g *gateway) selfcheck(logger *slog.Logger) error {
 	if err := scrapeProm(client, base); err != nil {
 		return fmt.Errorf("prom-metrics: %w", err)
 	}
-	fmt.Printf("selfcheck %-24s %d %s\n", "prom-metrics", http.StatusOK, "exposition parsed, core series present")
+	fmt.Printf("selfcheck %-24s %d %s\n", "prom-metrics", http.StatusOK, "exposition parsed, core + runtime series present")
+	if err := g.checkTraces(client, base); err != nil {
+		return fmt.Errorf("trace-retention: %w", err)
+	}
+	fmt.Printf("selfcheck %-24s %d %s\n", "trace-retention", http.StatusOK, "retained traces served, in-flight table idle")
 
 	// Warm-restart contract: capture the cold solves, boot a second gateway
 	// from the snapshot directory just frozen into, and require identical
@@ -893,7 +940,7 @@ func withoutStats(raw []byte) (map[string]any, error) {
 // fired), and the mapped-bytes gauge is exported.
 func warmRestartCheck(logger *slog.Logger, snapDir string, coldSolves map[string][]byte) error {
 	rec := &obs.Recorder{}
-	warm, err := newGateway(1, rec, snapDir)
+	warm, err := newGateway(1, rec, nil, snapDir)
 	if err != nil {
 		return fmt.Errorf("booting from %s: %w", snapDir, err)
 	}
@@ -968,12 +1015,72 @@ func warmRestartCheck(logger *slog.Logger, snapDir string, coldSolves map[string
 	return nil
 }
 
+// checkTraces asserts the flight recorder's HTTP face after the endpoint
+// sweep: /v1/traces serves at least one retained trace whose tree carries
+// the serving layer's request/queue/exec spans, and /v1/requests is an
+// empty (idle) table. Skipped when the gateway runs without a recorder.
+func (g *gateway) checkTraces(client *http.Client, base string) error {
+	if g.fr == nil {
+		return nil
+	}
+	resp, err := client.Get(base + "/v1/traces")
+	if err != nil {
+		return err
+	}
+	var traces struct {
+		Traces []traceOut `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&traces)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding /v1/traces: %w", err)
+	}
+	if len(traces.Traces) == 0 {
+		return fmt.Errorf("no traces retained after the endpoint sweep (recorder stats: %+v)", g.fr.Stats())
+	}
+	found := false
+	for _, tr := range traces.Traces {
+		names := map[string]bool{}
+		for _, sp := range tr.Spans {
+			names[sp.Name] = true
+		}
+		if names["serve.request"] && names["serve.queue"] && names["serve.exec"] {
+			found = true
+			fmt.Printf("selfcheck %-24s     trace %s\n", "", traceSummary(tr))
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("no retained trace carries the serve.request/queue/exec tree (%d retained)", len(traces.Traces))
+	}
+
+	resp, err = client.Get(base + "/v1/requests")
+	if err != nil {
+		return err
+	}
+	var reqs struct {
+		Requests []inflightOut `json:"requests"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&reqs)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding /v1/requests: %w", err)
+	}
+	if len(reqs.Requests) != 0 {
+		return fmt.Errorf("in-flight table not empty on an idle gateway: %+v", reqs.Requests)
+	}
+	return nil
+}
+
 // scrapeProm fetches /metrics and asserts the exposition is parseable and
 // carries the core series with sane values: per-shard outcome counters
 // reflecting the solves just driven, the queue/exec/total latency split,
-// capacity gauges, and the per-instance cache histogram for the
-// still-registered finite instance.
+// capacity gauges, the per-instance cache histogram for the
+// still-registered finite instance, the Go runtime series, and the gateway
+// HTTP latency histogram.
 func scrapeProm(client *http.Client, base string) error {
+	// Force a GC first so the pause histogram provably has samples to serve.
+	runtime.GC()
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return err
@@ -1025,6 +1132,18 @@ func scrapeProm(client *http.Client, base string) error {
 	}
 	if scanned, _ := sum("ukc_serve_prune_total", map[string]string{"event": "scanned"}); scanned < 1 {
 		return fmt.Errorf("prune_total scanned = %v, want >= 1 (default-pruned unassigned solves must account their scans)", scanned)
+	}
+	if goroutines, _ := sum("go_goroutines", nil); goroutines < 1 {
+		return fmt.Errorf("go_goroutines = %v, want >= 1", goroutines)
+	}
+	if heap, _ := sum("go_heap_alloc_bytes", nil); heap <= 0 {
+		return fmt.Errorf("go_heap_alloc_bytes = %v, want > 0", heap)
+	}
+	if pauses, n := sum("go_gc_pause_seconds_count", nil); n != 1 || pauses < 1 {
+		return fmt.Errorf("go_gc_pause_seconds_count = %v (%d series), want >= 1 after a forced GC", pauses, n)
+	}
+	if httpReqs, _ := sum("ukc_http_request_duration_seconds_count", nil); httpReqs < 1 {
+		return fmt.Errorf("ukc_http_request_duration_seconds_count = %v, want >= 1 (the sweep's requests flow through the latency histogram)", httpReqs)
 	}
 	return nil
 }

@@ -12,12 +12,15 @@ import (
 
 	"repro/internal/dataio"
 	"repro/internal/gen"
+	"repro/obs"
 )
 
 // TestSelfcheck runs the full CI smoke path in-process: every endpoint,
-// both instance kinds, over real HTTP on a loopback port.
+// both instance kinds, over real HTTP on a loopback port. The flight
+// recorder runs at its production defaults so the trace-retention step is
+// exercised, not skipped.
 func TestSelfcheck(t *testing.T) {
-	gw, err := newGateway(1, nil, t.TempDir())
+	gw, err := newGateway(1, nil, obs.NewFlightRecorder(obs.FlightConfig{}), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +31,7 @@ func TestSelfcheck(t *testing.T) {
 }
 
 func TestHTTPStatusMapping(t *testing.T) {
-	gw, err := newGateway(1, nil, "")
+	gw, err := newGateway(1, nil, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestHTTPStatusMapping(t *testing.T) {
 // TestFreezeNameSanitization pins that a percent-encoded path separator in
 // the instance name cannot direct the snapshot outside the directory.
 func TestFreezeNameSanitization(t *testing.T) {
-	gw, err := newGateway(1, nil, t.TempDir())
+	gw, err := newGateway(1, nil, nil, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

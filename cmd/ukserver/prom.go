@@ -16,10 +16,20 @@ import (
 	"strings"
 )
 
-// promSample is one exposition line: name{labels} value.
+// promSample is one exposition line: name{labels} value, optionally with an
+// OpenMetrics exemplar appended (# {labels} value).
 type promSample struct {
-	name   string
-	labels map[string]string
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar *promExemplar
+}
+
+// promExemplar is an OpenMetrics exemplar: a concrete observation (and the
+// trace it belongs to) attached to the histogram bucket it landed in, so a
+// dashboard's p99 spike links straight to a retained trace.
+type promExemplar struct {
+	labels map[string]string // typically {"trace_id": "..."}
 	value  float64
 }
 
@@ -45,8 +55,17 @@ func (p *promCollector) add(kind string) func(name string, labels map[string]str
 		if fam := promFamily(name); fam != name {
 			p.hist[fam] = true
 		}
-		p.samples = append(p.samples, promSample{name, labels, value})
+		p.samples = append(p.samples, promSample{name: name, labels: labels, value: value})
 	}
+}
+
+// sample appends one sample directly (runtime/HTTP metrics the serve.Collect
+// walk does not produce), optionally with an exemplar.
+func (p *promCollector) sample(name string, labels map[string]string, value float64, ex *promExemplar) {
+	if fam := promFamily(name); fam != name {
+		p.hist[fam] = true
+	}
+	p.samples = append(p.samples, promSample{name: name, labels: labels, value: value, exemplar: ex})
 }
 
 // promFamily strips the histogram series suffixes; for scalar series the
@@ -127,7 +146,11 @@ func (p *promCollector) write(w io.Writer) error {
 		}
 		lines := make([]string, 0, len(byFamily[fam]))
 		for _, s := range byFamily[fam] {
-			lines = append(lines, fmt.Sprintf("%s%s %s", s.name, renderLabels(s.labels), strconv.FormatFloat(s.value, 'g', -1, 64)))
+			line := fmt.Sprintf("%s%s %s", s.name, renderLabels(s.labels), strconv.FormatFloat(s.value, 'g', -1, 64))
+			if s.exemplar != nil {
+				line += fmt.Sprintf(" # %s %s", renderLabels(s.exemplar.labels), strconv.FormatFloat(s.exemplar.value, 'g', -1, 64))
+			}
+			lines = append(lines, line)
 		}
 		sort.Strings(lines)
 		for _, line := range lines {
@@ -175,8 +198,11 @@ func parsePromLine(line string) (promSample, error) {
 	rest := line
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		s.name = rest[:i]
-		end := strings.LastIndexByte(rest, '}')
-		if end < i {
+		// Quote-aware scan, not LastIndexByte: an exemplar suffix carries a
+		// second label block, and '}' may legitimately appear inside a quoted
+		// label value.
+		end := labelBlockEnd(rest, i+1)
+		if end < 0 {
 			return s, fmt.Errorf("unterminated label block in %q", line)
 		}
 		labels, err := parsePromLabels(rest[i+1 : end])
@@ -187,13 +213,21 @@ func parsePromLine(line string) (promSample, error) {
 		rest = strings.TrimSpace(rest[end+1:])
 	} else {
 		fields := strings.Fields(rest)
-		if len(fields) != 2 {
+		if len(fields) < 2 {
 			return s, fmt.Errorf("want 'name value', got %q", line)
 		}
-		s.name, rest = fields[0], fields[1]
+		s.name, rest = fields[0], strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	}
+	// Tolerate (and discard) an OpenMetrics exemplar: the value can never
+	// contain '#', so everything from the first '#' on is the exemplar.
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
 	}
 	if s.name == "" || !isPromName(s.name) {
 		return s, fmt.Errorf("invalid metric name in %q", line)
+	}
+	if len(strings.Fields(rest)) != 1 {
+		return s, fmt.Errorf("want one value in %q", line)
 	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
 	if err != nil {
@@ -201,6 +235,24 @@ func parsePromLine(line string) (promSample, error) {
 	}
 	s.value = v
 	return s, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing the label block that
+// starts (after its '{') at start, honoring quoting and escapes; -1 when
+// unterminated.
+func labelBlockEnd(s string, start int) int {
+	inQuote := false
+	for i := start; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
 }
 
 func parsePromLabels(block string) (map[string]string, error) {

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	ukc "repro"
+	"repro/serve"
 )
 
 // TestPromWriteGolden pins the exposition byte-for-byte on a fixed sample
@@ -66,6 +69,106 @@ func TestPromRoundTrip(t *testing.T) {
 	}
 	if s := series["ukc_serve_requests_total"]; len(s) != 1 || s[0].labels["outcome"] != "canceled" || s[0].value != 7 {
 		t.Errorf("counter round-trip = %+v", s)
+	}
+}
+
+// TestPromLabelEscapeRoundTrip pins each escape-worthy byte individually —
+// backslash, double quote, newline — and their combinations: whatever an
+// instance is named, write produces a parseable exposition and the parse
+// recovers the exact name.
+func TestPromLabelEscapeRoundTrip(t *testing.T) {
+	names := []string{
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`all"three\of` + "\nthem",
+		`trailing\`,
+		`{braces}and=equals,commas`,
+	}
+	pc := newPromCollector()
+	add := pc.add("euclidean")
+	for i, name := range names {
+		add("ukc_serve_instance_cache_bytes", map[string]string{"instance": name}, float64(i+1))
+	}
+	var b strings.Builder
+	if err := pc.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := parsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parsing own output: %v\n%s", err, b.String())
+	}
+	samples := series["ukc_serve_instance_cache_bytes"]
+	if len(samples) != len(names) {
+		t.Fatalf("round-tripped %d samples, want %d", len(samples), len(names))
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.labels["instance"]] = s.value
+	}
+	for i, name := range names {
+		if got[name] != float64(i+1) {
+			t.Errorf("instance %q round-tripped to value %v, want %d", name, got[name], i+1)
+		}
+	}
+}
+
+// TestPromExemplarRoundTrip pins the exemplar wire format: write renders
+// the OpenMetrics suffix, and the parser tolerates it — the sample's value
+// comes back intact with the exemplar discarded.
+func TestPromExemplarRoundTrip(t *testing.T) {
+	pc := newPromCollector()
+	pc.sample("ukc_http_request_duration_seconds_bucket",
+		map[string]string{"le": "0.1"}, 7,
+		&promExemplar{labels: map[string]string{"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736"}, value: 0.063})
+	var b strings.Builder
+	if err := pc.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `ukc_http_request_duration_seconds_bucket{le="0.1"} 7 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.063`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	series, err := parsePromText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parsing exposition with exemplar: %v", err)
+	}
+	s := series["ukc_http_request_duration_seconds_bucket"]
+	if len(s) != 1 || s[0].value != 7 || s[0].labels["le"] != "0.1" {
+		t.Fatalf("exemplar sample round-trip = %+v", s)
+	}
+}
+
+// TestPromCollectZeroInstances walks Collect over a freshly-built server
+// with nothing registered: the exposition must still render and parse, with
+// the shard-level capacity gauges present and no instance series — the
+// scrape contract holds from the first moment of a server's life.
+func TestPromCollectZeroInstances(t *testing.T) {
+	srv, err := serve.New(ukc.NewSolver[ukc.Vec]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pc := newPromCollector()
+	srv.Collect(pc.add("euclidean"))
+	var b strings.Builder
+	if err := pc.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := parsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parsing zero-instance exposition: %v\n%s", err, b.String())
+	}
+	var caps float64
+	for _, s := range series["ukc_serve_queue_capacity"] {
+		caps += s.value
+	}
+	if caps <= 0 {
+		t.Fatalf("queue capacity total = %v, want > 0 on an empty server", caps)
+	}
+	if n := len(series["ukc_serve_instance_cache_bytes"]); n != 0 {
+		t.Fatalf("zero-instance server exports %d instance cache series", n)
 	}
 }
 

@@ -1,0 +1,103 @@
+package main
+
+// runtime.go exports the process-health gauges the serving-layer Collect
+// walk cannot see: goroutine count, heap occupancy, and a GC pause-time
+// histogram, all read from the Go runtime at scrape time. These carry no
+// kind label — they describe the process, not an instance-kind server.
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+
+	"repro/obs"
+)
+
+// gcPauseBounds is the fixed bucket layout (seconds) the runtime's GC pause
+// histogram is re-bucketed into: sub-microsecond noise through a 100ms
+// stall, geometrically spaced.
+var gcPauseBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1}
+
+// collectRuntime appends the Go runtime series to the scrape.
+func collectRuntime(pc *promCollector) {
+	pc.sample("go_goroutines", nil, float64(runtime.NumGoroutine()), nil)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pc.sample("go_heap_alloc_bytes", nil, float64(ms.HeapAlloc), nil)
+	pc.sample("go_heap_inuse_bytes", nil, float64(ms.HeapInuse), nil)
+	pc.sample("go_heap_objects", nil, float64(ms.HeapObjects), nil)
+	pc.sample("go_gc_cycles_total", nil, float64(ms.NumGC), nil)
+
+	samples := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+	metrics.Read(samples)
+	if h := samples[0].Value.Float64Histogram(); h != nil {
+		writeHistogram(pc, "go_gc_pause_seconds", nil, rebucket(h, gcPauseBounds), nil)
+	}
+}
+
+// rebucket folds a runtime Float64Histogram (fine-grained, possibly with
+// infinite edge boundaries) into an obs-style snapshot over fixed bounds.
+// Each runtime bucket lands in the first bound that covers its upper edge;
+// the sum is approximated from bucket midpoints (the runtime histogram does
+// not carry an exact sum).
+func rebucket(h *metrics.Float64Histogram, bounds []float64) obs.HistogramSnapshot {
+	snap := obs.HistogramSnapshot{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		j := len(bounds) // +Inf overflow
+		for b, bound := range bounds {
+			if hi <= bound {
+				j = b
+				break
+			}
+		}
+		snap.Counts[j] += c
+		snap.Count += c
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		snap.Sum += float64(c) * (lo + hi) / 2
+	}
+	return snap
+}
+
+// writeHistogram renders an obs histogram snapshot as the Prometheus
+// cumulative-bucket series (name_bucket{le=...}, name_sum, name_count),
+// attaching the per-bucket exemplars when given (len(Counts), nil entries
+// skipped).
+func writeHistogram(pc *promCollector, name string, labels map[string]string, snap obs.HistogramSnapshot, exemplars []*promExemplar) {
+	withLE := func(le string) map[string]string {
+		m := map[string]string{"le": le}
+		for k, v := range labels {
+			m[k] = v
+		}
+		return m
+	}
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = strconv.FormatFloat(snap.Bounds[i], 'g', -1, 64)
+		}
+		var ex *promExemplar
+		if i < len(exemplars) {
+			ex = exemplars[i]
+		}
+		pc.sample(name+"_bucket", withLE(le), float64(cum), ex)
+	}
+	sumLabels := map[string]string{}
+	for k, v := range labels {
+		sumLabels[k] = v
+	}
+	pc.sample(name+"_sum", sumLabels, snap.Sum, nil)
+	pc.sample(name+"_count", sumLabels, float64(snap.Count), nil)
+}

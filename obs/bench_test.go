@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // BenchmarkSpanNilTracer is the package's headline number: the cost of a
 // fully-exercised instrumentation site when nobody is listening. The report
@@ -41,3 +44,35 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i%100) / 1000)
 	}
 }
+
+// BenchmarkFlightRecorder measures the three request-path states of the
+// flight recorder: disabled (nil recorder — must report 0 allocs/op, the
+// contract the nightly alloc pin enforces), enabled with the trace ending
+// up unsampled (full assembly, then dropped), and enabled with the trace
+// retained in the error ring.
+func BenchmarkFlightRecorder(b *testing.B) {
+	run := func(b *testing.B, f *FlightRecorder, err error) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			at := f.Start(TraceContext{}, "serve.request", "inst")
+			execID := at.NewSpanID()
+			at.Record(execID, at.RootID(), "serve.exec", "inst", time.Time{}, time.Microsecond)
+			at.Finish(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, nil, nil)
+	})
+	b.Run("enabled-unsampled", func(b *testing.B) {
+		run(b, NewFlightRecorder(FlightConfig{Reservoir: -1, Threshold: time.Hour}), nil)
+	})
+	b.Run("enabled-retained", func(b *testing.B) {
+		run(b, NewFlightRecorder(FlightConfig{Reservoir: -1, Threshold: time.Hour}), errTest)
+	})
+}
+
+var errTest = errBench("bench failure")
+
+type errBench string
+
+func (e errBench) Error() string { return string(e) }

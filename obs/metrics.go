@@ -91,6 +91,14 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// BucketIndex returns the index of the bucket v falls in — the same index
+// Observe(v) increments, with len(Bounds) meaning the +Inf overflow bucket.
+// Exemplar attachment uses this to pin a trace ID to the bucket its latency
+// landed in.
+func (h *Histogram) BucketIndex(v float64) int {
+	return sort.SearchFloat64s(h.bounds, v)
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram: the bucket
 // bounds, per-bucket (non-cumulative) counts with the +Inf overflow last,
 // and the exact sum and count of all observations.

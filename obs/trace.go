@@ -1,0 +1,167 @@
+package obs
+
+// trace.go is the identity layer under the flight recorder: 128-bit trace
+// IDs and 64-bit span IDs in the W3C trace-context format, the traceparent
+// header codec that carries them across process boundaries
+// (client → gateway → serve), and the context plumbing that carries them
+// within one. Everything here is allocation-free except String rendering,
+// so the serving layer can thread identities through its hot path and only
+// pay for formatting at snapshot/log time.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceID is a 128-bit trace identifier (W3C trace-context). The zero value
+// means "no trace".
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is a 64-bit span identifier. The zero value means "no span" — a
+// span with a zero ParentID is a trace root.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idState is the process-global ID generator state: a splitmix64 walk
+// seeded once from crypto/rand. One atomic add per ID — no lock, no
+// syscall, no allocation on the generation path.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		// A broken crypto/rand should not take the process down for the
+		// sake of trace IDs; a fixed seed keeps them unique per process run
+		// sequence, just not across processes.
+		idState.Store(0x9e3779b97f4a7c15)
+	}
+}
+
+// nextID draws the next 64-bit identifier word.
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID returns a fresh non-zero 128-bit trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], nextID())
+		binary.BigEndian.PutUint64(t[8:], nextID())
+	}
+	return t
+}
+
+// NewSpanID returns a fresh non-zero 64-bit span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], nextID())
+	}
+	return s
+}
+
+// TraceContext is the propagated identity of one request: which trace it
+// belongs to and which span on the sending side is its parent. The zero
+// value means "no trace context".
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID // parent span on the sending side; zero for a local root
+	Sampled bool   // the W3C sampled flag; informational (retention is tail-based here)
+}
+
+// Valid reports whether the context names a trace (the parent span may be
+// zero for a locally-rooted trace).
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value:
+// "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>". A zero SpanID is
+// replaced with a fresh one — the wire format forbids all-zero parent IDs.
+func (tc TraceContext) Traceparent() string {
+	span := tc.SpanID
+	if span.IsZero() {
+		span = NewSpanID()
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID.String() + "-" + span.String() + "-" + flags
+}
+
+// ParseTraceparent decodes a W3C traceparent header value. Unknown versions
+// are rejected (only 00 is produced and understood), as are all-zero IDs and
+// malformed hex — callers treat an error as "no incoming trace" and root a
+// fresh one.
+func ParseTraceparent(h string) (TraceContext, error) {
+	var tc TraceContext
+	// 2 (version) + 1 + 32 (trace) + 1 + 16 (span) + 1 + 2 (flags)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, fmt.Errorf("obs: malformed traceparent %q", h)
+	}
+	if h[:2] != "00" {
+		return tc, fmt.Errorf("obs: unsupported traceparent version %q", h[:2])
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent parent-id: %w", err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent flags: %w", err)
+	}
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return tc, fmt.Errorf("obs: traceparent carries a zero ID: %q", h)
+	}
+	tc.Sampled = flags[0]&1 != 0
+	return tc, nil
+}
+
+// traceCtxKey is the context key trace contexts travel under; zero-sized,
+// distinct from the tracer key.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tc — how a gateway hands the parsed
+// incoming traceparent down to the serving layer without widening any
+// signature. An invalid (zero-trace) tc returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx, or the zero
+// TraceContext. The lookup never allocates.
+func TraceFromContext(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewIDsNonZeroAndDistinct(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("NewTraceID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+	spans := map[SpanID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if id.IsZero() {
+			t.Fatal("NewSpanID returned zero")
+		}
+		if spans[id] {
+			t.Fatalf("duplicate span ID %s", id)
+		}
+		spans[id] = true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	h := tc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("bad traceparent %q", h)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+
+	tc.Sampled = false
+	got, err = ParseTraceparent(tc.Traceparent())
+	if err != nil || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestTraceparentZeroSpanSubstituted(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID()}
+	got, err := ParseTraceparent(tc.Traceparent())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.TraceID != tc.TraceID || got.SpanID.IsZero() {
+		t.Fatalf("zero SpanID must be replaced on the wire: %+v", got)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}.Traceparent()
+	cases := map[string]string{
+		"empty":      "",
+		"short":      valid[:54],
+		"long":       valid + "0",
+		"bad dash":   valid[:35] + "_" + valid[36:],
+		"version 01": "01" + valid[2:],
+		"version ff": "ff" + valid[2:],
+		"bad hex":    valid[:3] + "zz" + valid[5:],
+		"zero trace": "00-00000000000000000000000000000000-" + valid[36:],
+		"zero span":  valid[:36] + "0000000000000000" + valid[52:],
+	}
+	for name, h := range cases {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, h)
+		}
+	}
+	if _, err := ParseTraceparent(valid); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+}
+
+func TestContextWithTrace(t *testing.T) {
+	ctx := context.Background()
+	if tc := TraceFromContext(ctx); tc.Valid() {
+		t.Fatalf("empty context carried a trace: %+v", tc)
+	}
+	want := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	ctx = ContextWithTrace(ctx, want)
+	if got := TraceFromContext(ctx); got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	// Invalid contexts are not stored.
+	base := context.Background()
+	if ctx2 := ContextWithTrace(base, TraceContext{}); ctx2 != base {
+		t.Fatal("invalid trace context was stored")
+	}
+	if tc := TraceFromContext(nil); tc.Valid() {
+		t.Fatal("nil context carried a trace")
+	}
+}

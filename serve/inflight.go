@@ -1,0 +1,123 @@
+package serve
+
+// inflight.go is the live in-flight request table: every admitted request is
+// visible — instance, workload, shard, queued-or-executing, elapsed — from
+// admission until its worker finishes or it is abandoned in the queue. The
+// table answers "what is this server doing right now", the question metrics
+// counters (already-finished work) and retained traces (already-decided
+// work) cannot: a wedged request shows up here long before it shows up
+// anywhere else.
+//
+// The table is snapshotted without stopping the world: the map lock is held
+// only to copy entry pointers, and the queued→executing transition is a
+// single atomic the worker flips without taking any lock, so a snapshot
+// racing an execution start sees one of two truthful states.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/obs"
+)
+
+// inflightReq is one live request's table entry. The immutable fields are
+// written once at admission; execStart is the only mutable field (0 while
+// queued, the execution start in unix nanoseconds once a worker picks the
+// request up).
+type inflightReq struct {
+	id        uint64
+	workload  string
+	instance  string
+	shard     int
+	trace     obs.TraceID
+	enq       time.Time
+	execStart atomic.Int64
+}
+
+// inflightTable indexes the live requests by admission ID.
+type inflightTable struct {
+	mu   sync.Mutex
+	reqs map[uint64]*inflightReq
+	next uint64
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{reqs: make(map[uint64]*inflightReq)}
+}
+
+// add registers a request at admission and returns its entry.
+func (t *inflightTable) add(workload, instance string, shard int, trace obs.TraceID, enq time.Time) *inflightReq {
+	t.mu.Lock()
+	t.next++
+	r := &inflightReq{id: t.next, workload: workload, instance: instance, shard: shard, trace: trace, enq: enq}
+	t.reqs[r.id] = r
+	t.mu.Unlock()
+	return r
+}
+
+// remove drops a finished (or admission-rejected) request. Nil-safe.
+func (t *inflightTable) remove(r *inflightReq) {
+	if r == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.reqs, r.id)
+	t.mu.Unlock()
+}
+
+// markExec flips the entry to executing. Nil-safe.
+func (r *inflightReq) markExec() {
+	if r != nil {
+		r.execStart.Store(time.Now().UnixNano())
+	}
+}
+
+// InflightRequest is one row of the live request table (Server.Inflight).
+type InflightRequest struct {
+	ID       uint64        `json:"id"`       // admission sequence number, unique per server
+	Workload string        `json:"workload"` // solve | assign | ecost | sweep | solve_unassigned
+	Instance string        `json:"instance"`
+	Shard    int           `json:"shard"`
+	TraceID  string        `json:"trace_id,omitempty"` // empty when the flight recorder is off
+	State    string        `json:"state"`              // "queued" or "executing"
+	Elapsed  time.Duration `json:"elapsed_ns"`         // since admission
+	Exec     time.Duration `json:"exec_ns"`            // since execution start; 0 while queued
+}
+
+// Inflight snapshots the live request table, oldest admission first. The
+// snapshot never blocks admission or execution beyond the pointer copy, and
+// a request racing its queued→executing transition appears in whichever
+// state the atomic read lands on.
+func (s *Server[P]) Inflight() []InflightRequest {
+	now := time.Now()
+	s.inflight.mu.Lock()
+	live := make([]*inflightReq, 0, len(s.inflight.reqs))
+	for _, r := range s.inflight.reqs {
+		live = append(live, r)
+	}
+	s.inflight.mu.Unlock()
+
+	out := make([]InflightRequest, 0, len(live))
+	for _, r := range live {
+		row := InflightRequest{
+			ID:       r.id,
+			Workload: r.workload,
+			Instance: r.instance,
+			Shard:    r.shard,
+			State:    "queued",
+			Elapsed:  now.Sub(r.enq),
+		}
+		if !r.trace.IsZero() {
+			row.TraceID = r.trace.String()
+		}
+		if es := r.execStart.Load(); es != 0 {
+			row.State = "executing"
+			row.Exec = now.Sub(time.Unix(0, es))
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/par"
+	"repro/obs"
 )
 
 // config is the resolved server configuration. Defaults: one shard, one
@@ -22,6 +23,7 @@ type config struct {
 	drainTimeout     time.Duration
 	freezeOnShutdown bool
 	logger           *slog.Logger
+	recorder         *obs.FlightRecorder
 }
 
 func defaultConfig() config {
@@ -133,6 +135,18 @@ func WithLogger(l *slog.Logger) Option {
 			c.logger = l
 		}
 	}
+}
+
+// WithFlightRecorder installs a flight recorder: every request becomes a
+// trace participant whose queue-wait and execution are spans, the incoming
+// trace context (threaded by obs.ContextWithTrace — cmd/ukserver parses the
+// caller's traceparent into it) joins server spans to the caller's trace,
+// and the solver's own spans assemble under the execution span via the
+// request context's tracer. Retention is the recorder's tail-sampling
+// policy. Nil (the default) disables recording; the disabled path adds zero
+// allocations to the request path — the same contract as the nil tracer.
+func WithFlightRecorder(f *obs.FlightRecorder) Option {
+	return func(c *config) { c.recorder = f }
 }
 
 // WithDefaultDeadline sets the per-request deadline applied when a request

@@ -44,7 +44,7 @@ type SolveResponse[P any] struct {
 // instance — serving changes scheduling, never answers.
 func (s *Server[P]) Solve(ctx context.Context, req SolveRequest) (SolveResponse[P], error) {
 	var resp SolveResponse[P]
-	st, err := s.do(ctx, req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
+	st, err := s.do(ctx, "solve", req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
 		res, err := s.solver.Solve(ctx, ent.inst, req.K)
 		if err != nil {
 			return err
@@ -81,7 +81,7 @@ type AssignResponse struct {
 // surrogates).
 func (s *Server[P]) Assign(ctx context.Context, req AssignRequest[P]) (AssignResponse, error) {
 	var resp AssignResponse
-	st, err := s.do(ctx, req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
+	st, err := s.do(ctx, "assign", req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
 		assign, err := s.solver.Assign(ctx, ent.inst, req.Centers)
 		if err != nil {
 			return err
@@ -117,7 +117,7 @@ type EcostResponse struct {
 // flat model.
 func (s *Server[P]) Ecost(ctx context.Context, req EcostRequest[P]) (EcostResponse, error) {
 	var resp EcostResponse
-	st, err := s.do(ctx, req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
+	st, err := s.do(ctx, "ecost", req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
 		var (
 			cost float64
 			err  error
@@ -162,7 +162,7 @@ type EcostSweepResponse struct {
 // named instance.
 func (s *Server[P]) EcostSweep(ctx context.Context, req EcostSweepRequest[P]) (EcostSweepResponse, error) {
 	var resp EcostSweepResponse
-	st, err := s.do(ctx, req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
+	st, err := s.do(ctx, "sweep", req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
 		sweep, snapped, err := s.solver.EcostSweep(ctx, ent.inst, req.Centers)
 		if err != nil {
 			return err
@@ -204,7 +204,7 @@ type UnassignedResponse[P any] struct {
 // objective on the named instance.
 func (s *Server[P]) SolveUnassigned(ctx context.Context, req UnassignedRequest) (UnassignedResponse[P], error) {
 	var resp UnassignedResponse[P]
-	st, err := s.do(ctx, req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
+	st, err := s.do(ctx, "solve_unassigned", req.Instance, req.Deadline, func(ctx context.Context, ent *entry[P]) error {
 		centers, cost, err := s.solver.SolveUnassignedMode(ctx, ent.inst, req.K, req.Index)
 		if err != nil {
 			return err

@@ -157,6 +157,8 @@ type task[P any] struct {
 	ent   *entry[P]
 	fn    func(ctx context.Context) error
 	enq   time.Time
+	at    *obs.ActiveTrace // nil when the flight recorder is off
+	ifr   *inflightReq
 	stats RequestStats
 	err   error
 	done  chan struct{}
@@ -206,6 +208,10 @@ type Server[P any] struct {
 	drainDone chan struct{}
 	drainErr  error
 
+	// inflight is the live request table (see inflight.go): every admitted
+	// request from admission until completion or queue abandonment.
+	inflight *inflightTable
+
 	// Snapshot-hygiene counters (see snapshot.go): corrupt snapshots
 	// quarantined, and stale write temporaries swept, since server start.
 	quarantined atomic.Uint64
@@ -228,7 +234,7 @@ func New[P any](solver *ukc.Solver[P], opts ...Option) (*Server[P], error) {
 	if solver == nil {
 		solver = ukc.NewSolver[P]()
 	}
-	s := &Server[P]{solver: solver, cfg: cfg, shards: make([]*shard[P], cfg.shards), drainDone: make(chan struct{})}
+	s := &Server[P]{solver: solver, cfg: cfg, shards: make([]*shard[P], cfg.shards), drainDone: make(chan struct{}), inflight: newInflightTable()}
 	s.stopCtx, s.stopCancel = context.WithCancel(context.Background())
 	for i := range s.shards {
 		sh := &shard[P]{
@@ -392,11 +398,12 @@ func (s *Server[P]) Names() []string {
 }
 
 // do is the request path every workload shares: resolve the instance,
-// layer the deadline, admit onto the shard queue (fail fast with
-// ErrOverloaded when full), and wait for a worker to run fn. The returned
-// stats are meaningful even on error (Shard is always set; Queue/Exec when
-// the task executed).
-func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Duration, fn func(ctx context.Context, ent *entry[P]) error) (RequestStats, error) {
+// layer the deadline, start trace participation, admit onto the shard queue
+// (fail fast with ErrOverloaded when full), and wait for a worker to run
+// fn. The returned stats are meaningful even on error (Shard is always set;
+// Queue/Exec when the task executed). workload names the request kind in
+// the in-flight table.
+func (s *Server[P]) do(ctx context.Context, workload, instance string, deadline time.Duration, fn func(ctx context.Context, ent *entry[P]) error) (RequestStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -429,13 +436,22 @@ func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Durat
 	stop := context.AfterFunc(s.stopCtx, dcancel)
 	defer stop()
 
+	// Trace participation: the incoming trace context (parsed from the
+	// caller's traceparent by the gateway, or planted by an in-process
+	// recorder-sharing client) makes this request's spans part of the
+	// caller's trace; with no recorder configured `at` is nil and every
+	// trace call below is a free no-op.
+	at := s.cfg.recorder.Start(obs.TraceFromContext(ctx), "serve.request", instance)
+
 	t := &task[P]{
 		ctx:  dctx,
 		ent:  ent,
 		fn:   func(c context.Context) error { return fn(c, ent) },
 		enq:  time.Now(),
+		at:   at,
 		done: make(chan struct{}),
 	}
+	t.ifr = s.inflight.add(workload, instance, sh.id, at.TraceID(), t.enq)
 
 	// Admission under the close guard: once Shutdown leaves stateRunning, no
 	// new task can enter a queue, so the queues Shutdown closes are the whole
@@ -443,6 +459,8 @@ func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Durat
 	s.closeMu.RLock()
 	if err := s.admissibleLocked(); err != nil {
 		s.closeMu.RUnlock()
+		s.inflight.remove(t.ifr)
+		at.Finish(err)
 		return st, err
 	}
 	select {
@@ -452,18 +470,26 @@ func (s *Server[P]) do(ctx context.Context, instance string, deadline time.Durat
 	default:
 		s.closeMu.RUnlock()
 		sh.m.rejected.Add(1)
+		s.inflight.remove(t.ifr)
+		at.Finish(ErrOverloaded)
 		return st, ErrOverloaded
 	}
 
 	select {
 	case <-t.done:
+		at.Finish(t.err)
 		return t.stats, t.err
 	case <-dctx.Done():
 		// Deadline or caller cancellation while queued (or mid-execution —
 		// the worker aborts at the pipeline's next ctx check and discards
 		// its partial work; shard state is never touched by a failed run).
+		// Finishing the trace here completes this participant immediately;
+		// anything the abandoned worker records later is dropped by the
+		// recorder's completion flag.
 		st.Queue = time.Since(t.enq)
-		return st, context.Cause(dctx)
+		err := context.Cause(dctx)
+		at.Finish(err)
+		return st, err
 	}
 }
 
@@ -481,7 +507,12 @@ func (s *Server[P]) worker(sh *shard[P]) {
 // workload itself, then cache re-accounting and eviction.
 func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 	defer close(t.done)
+	defer s.inflight.remove(t.ifr)
 	t.stats.Queue = time.Since(t.enq)
+	// The queue wait becomes a span under the request root — recorded even
+	// for requests that then expire, err or panic, so a retained trace
+	// always shows where the time went.
+	t.at.Record(t.at.NewSpanID(), t.at.RootID(), "serve.queue", t.ent.name, t.enq, t.stats.Queue)
 	if err := t.ctx.Err(); err != nil {
 		// The context died while the task sat in the queue: fail it
 		// without running — the worker moves straight to the next request,
@@ -506,14 +537,25 @@ func (s *Server[P]) execute(sh *shard[P], t *task[P]) {
 	sh.mu.Unlock()
 
 	buildsBefore := t.ent.c.CacheBuilds()
+	t.ifr.markExec()
+	// The exec span's ID is drawn before execution so the solver's spans can
+	// be parented under it; the span itself is recorded after, once its
+	// duration is known. With the recorder off every call here is a nil-check
+	// no-op and the tracer merge is skipped — zero extra allocations.
+	execID := t.at.NewSpanID()
+	reqTracer := t.ent.tracer
+	if tt := t.at.Tracer(execID); tt != nil {
+		reqTracer = obs.Multi(reqTracer, tt)
+	}
 	start := time.Now()
 	// The entry's tracer rides the request context so any cache build the
 	// core performs during this execution (cold start or post-eviction
 	// rebuild) lands in this instance's build-duration histogram; a solver
 	// tracer, if one is installed, merges with it rather than being
 	// displaced.
-	t.err = runGuarded(t.fn, obs.NewContext(t.ctx, t.ent.tracer))
+	t.err = runGuarded(t.fn, obs.NewContext(t.ctx, reqTracer))
 	t.stats.Exec = time.Since(start)
+	t.at.Record(execID, t.at.RootID(), "serve.exec", t.ent.name, start, t.stats.Exec)
 	// A warm-cache hit is a request during which no memoized cache was
 	// built. The monotonic build counter (never decremented, not even by
 	// eviction) makes this immune to the race a byte-delta comparison has
